@@ -1,0 +1,39 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures, measures the
+wall time of doing so with pytest-benchmark, asserts the headline shape the
+paper reports for it, and stashes the rendered table in ``extra_info`` so
+``--benchmark-json`` output carries the reproduced data.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import figures
+
+
+def bench_figure(benchmark, fig_fn, *args, rounds: int = 1, **kwargs):
+    """Benchmark a figure generator (cold cache) and return its table."""
+
+    def generate():
+        figures.clear_cache()
+        return fig_fn(*args, **kwargs)
+
+    table = benchmark.pedantic(generate, rounds=rounds, iterations=1)
+    benchmark.extra_info["table"] = table.render()
+    return table
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    figures.clear_cache()
+    yield
+
+
+def as_pct(cell: str) -> float:
+    return float(cell.rstrip("%"))

@@ -1,0 +1,32 @@
+"""Figure 4.1 — percentage of objects collectable, without/with the
+section 3.4 optimization (small runs).
+
+Paper's rows (size 1):
+    compress 9%/11%, jess 35%/61%, raytrace 98%/98%, db 18%/36%,
+    javac 23%/24%, mpegaudio 6%/7%, mtrt 98%/98%, jack 69%/89%.
+"""
+
+from repro.harness import figures
+
+from conftest import as_pct, bench_figure
+
+PAPER = {
+    "compress": (9, 11),
+    "jess": (35, 61),
+    "raytrace": (98, 98),
+    "db": (18, 36),
+    "javac": (23, 24),
+    "mpegaudio": (6, 7),
+    "mtrt": (98, 98),
+    "jack": (69, 89),
+}
+
+
+def test_fig4_1(benchmark):
+    table = bench_figure(benchmark, figures.fig4_1, 1)
+    print("\n" + table.render())
+    for name, (no_opt, with_opt) in PAPER.items():
+        row = table.row_for(name)
+        assert abs(as_pct(row[4]) - no_opt) <= 12, (name, row[4])
+        assert abs(as_pct(row[5]) - with_opt) <= 12, (name, row[5])
+        assert as_pct(row[5]) >= as_pct(row[4])

@@ -1,0 +1,37 @@
+"""Figure 4.10 — speedup of CG over the base system across sizes.
+
+Paper's shape: slight slowdowns at sizes 1 and 10 for most benchmarks, then
+"a significant jump in size 100" for the allocation-heavy ones (jess 3.18,
+javac 2.77, jack 1.98, raytrace 1.71) while compress/db/mpegaudio stay near
+parity.  The crossover — where avoided marking overtakes per-store
+overhead — is the paper's central performance claim.
+"""
+
+from repro.harness import figures
+
+from conftest import bench_figure
+
+
+def test_fig4_10(benchmark):
+    table = bench_figure(benchmark, figures.fig4_10, rounds=1)
+    print("\n" + table.render())
+    s1 = {r[0]: float(r[1]) for r in table.rows}
+    s10 = {r[0]: float(r[2]) for r in table.rows}
+    s100 = {r[0]: float(r[3]) for r in table.rows}
+
+    # Who wins at scale (and by a clear margin):
+    for name in ("jess", "javac", "jack", "raytrace"):
+        assert s100[name] > 1.25, (name, s100[name])
+    # Who stays at parity:
+    for name in ("compress", "mpegaudio"):
+        assert 0.9 <= s100[name] <= 1.1, (name, s100[name])
+    assert 0.85 <= s100["db"] <= 1.2
+
+    # Where the crossover falls: large beats small for the winners.
+    for name in ("jess", "jack", "raytrace"):
+        assert s100[name] > s1[name]
+        assert s100[name] > s10[name]
+
+    # Small runs: CG pays its overhead (mostly < 1).
+    slower_at_1 = sum(1 for v in s1.values() if v < 1.0)
+    assert slower_at_1 >= 4

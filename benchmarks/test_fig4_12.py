@@ -1,0 +1,20 @@
+"""Figure 4.12 — recycle timing (section 3.7), small runs.
+
+Paper's claim: "the benefits of recycling objects are almost as good as
+predicted.  In general we are within 4% of the original timings, with
+speedups happening more often than not."
+"""
+
+from repro.harness import figures
+
+from conftest import bench_figure
+
+
+def test_fig4_12(benchmark):
+    table = bench_figure(benchmark, figures.fig4_12, 1)
+    print("\n" + table.render())
+    speedups = {r[0]: float(r[3]) for r in table.rows}
+    for name, s in speedups.items():
+        assert 0.9 <= s <= 1.15, (name, s)  # within a few percent
+    at_least_par = sum(1 for s in speedups.values() if s >= 1.0)
+    assert at_least_par >= 4  # "speedups happening more often than not"

@@ -1,0 +1,21 @@
+"""Figure 4.13 — number of objects recycled (section 3.7), small runs.
+
+Paper's shape: compress, db, and mpegaudio recycle only a small number of
+objects; the allocation-heavy benchmarks recycle 10-60%+.
+"""
+
+from repro.harness import figures
+
+from conftest import bench_figure
+
+
+def test_fig4_13(benchmark):
+    table = bench_figure(benchmark, figures.fig4_13, 1)
+    print("\n" + table.render())
+    shares = {r[0]: float(r[2]) for r in table.rows}
+    for name in ("compress", "mpegaudio"):
+        assert shares[name] < 10, (name, shares[name])
+    for name in ("jess", "jack", "raytrace"):
+        assert shares[name] > 10, (name, shares[name])
+    counts = {r[0]: int(r[1]) for r in table.rows}
+    assert counts["jack"] > counts["compress"]

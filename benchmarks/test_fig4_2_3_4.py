@@ -1,0 +1,48 @@
+"""Figures 4.2/4.3/4.4 — static & thread-shared composition per size.
+
+Paper's qualitative content: compress/db/mpegaudio are static-heavy at
+size 1; jess/javac have comparable static and collectable shares; javac is
+the only benchmark with a large thread-shared column; larger sizes shift
+every benchmark except compress/mpegaudio strongly toward collectable.
+"""
+
+import pytest
+
+from repro.harness import figures
+
+from conftest import as_pct, bench_figure
+
+
+def test_fig4_2_size1(benchmark):
+    table = bench_figure(benchmark, figures.fig4_2_3_4, 1)
+    print("\n" + table.render())
+    static = {r[0]: as_pct(r[2]) for r in table.rows}
+    thread = {r[0]: as_pct(r[3]) for r in table.rows}
+    assert static["compress"] > 80
+    assert static["mpegaudio"] > 80
+    assert static["db"] > 55
+    assert thread["javac"] > 40
+    assert all(v < 5 for k, v in thread.items() if k != "javac")
+
+
+def test_fig4_3_size10(benchmark):
+    table = bench_figure(benchmark, figures.fig4_2_3_4, 10)
+    print("\n" + table.render())
+    collectable = {r[0]: as_pct(r[1]) for r in table.rows}
+    assert collectable["jess"] > 75
+    assert collectable["jack"] > 90
+
+
+def test_fig4_4_size100(benchmark):
+    table = bench_figure(benchmark, figures.fig4_2_3_4, 100)
+    print("\n" + table.render())
+    collectable = {r[0]: as_pct(r[1]) for r in table.rows}
+    thread = {r[0]: as_pct(r[3]) for r in table.rows}
+    # Large runs: everything except the compute-bound pair is mostly
+    # collectable, and javac's collectable share has overtaken its
+    # thread-shared share (paper: "almost twice as many").
+    for name in ("jess", "raytrace", "db", "jack", "mtrt"):
+        assert collectable[name] > 85, name
+    assert collectable["javac"] > thread["javac"]
+    assert collectable["compress"] < 25
+    assert collectable["mpegaudio"] < 25

@@ -1,0 +1,34 @@
+"""Figure 4.6 — age at death (frame distance from birth to collection).
+
+Paper's claims: javac/jack collect most objects within one or two frames of
+birth (jack's peak is distance 1 — tokens returned to their consumer);
+raytrace/mtrt collect a majority more than 5 frames past their birth frame.
+"""
+
+from repro.harness import figures
+
+from conftest import bench_figure
+
+
+def test_fig4_6(benchmark):
+    table = bench_figure(benchmark, figures.fig4_6, 1)
+    print("\n" + table.render())
+
+    def buckets(name):
+        row = table.row_for(name)
+        return [int(c) for c in row[1:]]
+
+    jack = buckets("jack")
+    assert jack[1] == max(jack)  # peak at distance 1
+    assert jack[0] + jack[1] > 0.7 * sum(jack)
+
+    javac = buckets("javac")
+    assert javac[0] + javac[1] > 0.7 * sum(javac)
+
+    for name in ("raytrace", "mtrt"):
+        b = buckets(name)
+        past_five = b[6]
+        assert past_five > 0.2 * sum(b), (name, b)
+
+    compress = buckets("compress")
+    assert compress[6] == 0  # shallow frame structure

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Running a real bytecode program on the VM substrate.
+
+The reproduction includes a small JVM-like stack machine and a textual
+assembler, because the paper's system is an *interpreter modification*: the
+CG events fire from `new`/`putfield`/`putstatic`/`areturn` instructions.
+This example assembles a program that builds linked lists, interns strings,
+and recurses — then prints what the CG collector observed.
+
+Run:  python examples/bytecode_program.py
+"""
+
+from repro import CGPolicy, Runtime, RuntimeConfig, assemble
+
+SOURCE = """
+; A linked-list library plus a driver.
+
+class List
+    field head
+    field length
+    static longest          ; the longest list ever built is cached here
+
+class Node
+    field next
+    field value
+
+method List.push(2) locals=3
+    ; args: list, value.  Pushes a node carrying value.
+    new Node
+    store 2
+    load 2
+    load 1
+    putfield value
+    load 2
+    load 0
+    getfield head
+    putfield next
+    load 0
+    load 2
+    putfield head
+    load 0
+    getfield length
+    const 1
+    add
+    store 1
+    load 0
+    load 1
+    putfield length
+    return
+
+method List.build(1) locals=2
+    ; arg: n.  Builds a list of n nodes and returns it.
+    new List
+    store 1
+    load 1
+    const 0
+    putfield length
+loop:
+    load 0
+    ifzero done
+    load 1
+    load 0
+    invokestatic List.push
+    iinc 0 -1
+    goto loop
+done:
+    load 1
+    retval
+
+method List.sum(1) locals=3
+    ; Recursive sum over the list's values, node by node.
+    load 0
+    getfield head
+    invokestatic List.sumFrom
+    retval
+
+method List.sumFrom(1)
+    load 0
+    ifnull empty
+    load 0
+    getfield value
+    load 0
+    getfield next
+    invokestatic List.sumFrom
+    add
+    retval
+empty:
+    const 0
+    retval
+
+class Main
+method Main.main(0) locals=4
+    ; Build a throwaway list, sum it, drop it.
+    const 10
+    invokestatic List.build
+    store 0
+    load 0
+    invokestatic List.sum
+    store 1
+    ; Build a keeper and publish it via the static cache.
+    const 5
+    invokestatic List.build
+    store 2
+    load 2
+    putstatic List.longest
+    ; Interned strings are forever (section 3.2).
+    ldc_str "server-name"
+    intern
+    pop
+    ldc_str "server-name"
+    intern
+    store 3
+    load 1
+    retval
+"""
+
+
+def main():
+    program = assemble(SOURCE)
+    rt = Runtime(
+        RuntimeConfig(cg=CGPolicy.paper_default(), tracing="marksweep"),
+        program=program,
+    )
+    result = rt.run("Main.main")
+    print(f"Main.main returned: {result}  (sum of 1..10 values stored as 10)")
+
+    stats = rt.collector.stats
+    census = rt.collector.final_census()
+    print(f"\ninstructions executed: {rt.interpreter.instructions_executed}")
+    print(f"objects created:  {stats.objects_created}")
+    print(f"  collected by CG when main returned: {census['popped']}")
+    print(f"  pinned static (putstatic list + interned string): "
+          f"{census['static']}")
+    print(f"contaminations (putfield unions): {stats.contaminations}")
+    print(f"store events instrumented: {stats.store_events}")
+    print(f"traditional collector cycles: {rt.tracing.work.cycles}")
+
+    # The throwaway list (11 objects: List + 10 Nodes) and the duplicate
+    # string die with main; the published list (6) and canonical string live.
+    assert census["popped"] == 12, census
+    assert census["static"] == 7, census
+    print("\ncensus matches the hand count: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Collector shootout: CG vs mark-sweep vs generational vs train.
+
+Runs the same SPEC-shaped workload under four memory-management systems and
+compares the quantities the paper argues about: marking work (CG's central
+"no marking phase" claim), collection pauses, write-barrier traffic (what
+generational/train pay and CG doesn't), and total simulated cost.  Also
+demonstrates the section 3.6 reset pass repairing CG's conservatism.
+
+Run:  python examples/collector_shootout.py [workload] [size]
+      e.g. python examples/collector_shootout.py jack 1
+"""
+
+import sys
+
+from repro.harness.runner import run_workload
+from repro.workloads import REGISTRY
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "jack"
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    if name not in REGISTRY:
+        raise SystemExit(f"unknown workload {name!r}; pick from {sorted(REGISTRY)}")
+
+    # Squeeze the heap to just above the live set so every system is under
+    # genuine allocation pressure (otherwise nobody needs to collect).
+    from repro.harness.figures import pressured_heap
+
+    heap = pressured_heap(name, size)
+    print(f"workload: {name}, size {size}, heap {heap} words\n")
+    header = (f"{'system':12s} {'cycles':>7s} {'marks':>9s} {'barriers':>9s} "
+              f"{'swept':>7s} {'CG-popped':>10s} {'sim ms':>9s}")
+    print(header)
+    print("-" * len(header))
+    for system in ("cg", "jdk", "gen", "train"):
+        r = run_workload(name, size, system, heap_words=heap)
+        work = r.gc_work
+        popped = r.cg_stats.objects_popped if r.cg_stats else 0
+        print(f"{system:12s} {work.cycles + work.minor_cycles:7d} "
+              f"{work.mark_visits:9d} {work.barrier_hits:9d} "
+              f"{work.objects_collected:7d} {popped:10d} {r.sim_ms:9.2f}")
+
+    print("\n--- the section 3.6 reset pass ---")
+    plain = run_workload(name, size, "cg-nogc")
+    reset = run_workload(name, size, "cg-reset")
+    print(f"without resetting: {plain.census['popped']} collected, "
+          f"{plain.census['static'] + plain.census['thread']} held to program end")
+    print(f"with periodic MSA + reset: {reset.census['popped']} collected by CG, "
+          f"{reset.cg_stats.collected_by_msa} by the sweep, "
+          f"{reset.cg_stats.less_live} objects made less-live by resets "
+          f"({reset.cg_stats.reset_passes} passes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,340 @@
+"""The contaminated-garbage collector (the paper's contribution).
+
+The collector is an event consumer: the VM (or a direct-drive mutator)
+reports exactly the events the thesis instruments in Sun's interpreter
+(section 3.1.3) —
+
+* object creation            -> a fresh singleton equilive block on the
+                                currently active frame;
+* ``putfield`` / ``aastore`` -> symmetric contamination: the two objects'
+                                blocks merge, dependent on the older frame
+                                (with the section 3.4 static optimization);
+* ``areturn``                -> the returned object's block is promoted to
+                                the caller's frame if that frame is older;
+* ``putstatic``              -> the referenced object's block is pinned to
+                                frame 0 (live for the program's duration);
+* frame pop                  -> every block on the frame's list is dead and
+                                is reclaimed (or parked for recycling);
+
+plus the pessimistic cases of sections 3.2/3.3: interned strings, objects
+escaping to native code, objects touched by a second thread, and objects
+returned off the bottom of a thread's stack are pinned to frame 0.
+
+The collector never marks: reclamation at a frame pop is a walk of that
+frame's block list only.  Conservatism (objects believed live that are in
+fact dead) is quantified, not corrected — except by the optional section 3.6
+reset pass, driven by the tracing collector through the ``begin_reset`` /
+``reset_assign`` / ``reset_union`` / ``end_reset`` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..jvm.errors import IllegalStateError
+from ..jvm.frames import Frame, StaticFrame
+from ..jvm.heap import Handle, Heap
+from .equilive import EquiliveBlock, EquiliveManager
+from .policy import CGPolicy
+from .recycle import RecycleList
+from .stats import (
+    CAUSE_INTERN,
+    CAUSE_MERGED,
+    CAUSE_NATIVE,
+    CAUSE_PUTSTATIC,
+    CAUSE_ROOTLESS,
+    CAUSE_SHARED,
+    CGStats,
+)
+
+
+class ResetSnapshot:
+    """Pre-reset dependence of every live object (for the Fig. 4.11 metric)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        #: handle id -> (was_static, dependent frame depth)
+        self.entries: Dict[int, Tuple[bool, int]] = {}
+
+
+class ContaminatedCollector:
+    """Event-driven CG collector over a :class:`~repro.jvm.heap.Heap`."""
+
+    def __init__(self, heap: Heap, static_frame: StaticFrame,
+                 policy: Optional[CGPolicy] = None) -> None:
+        self.heap = heap
+        self.policy = policy or CGPolicy()
+        self.static_frame = static_frame
+        self.stats = CGStats()
+        self.equilive = EquiliveManager(static_frame)
+        self.recycle = RecycleList(
+            heap, self.stats, by_type=self.policy.recycle_by_type
+        )
+        #: Optional oracle installed by the runtime for paranoid mode: given
+        #: a list of handles CG is about to free, raise if any is reachable.
+        self.reachability_probe: Optional[Callable[[List[Handle]], None]] = None
+
+    # ------------------------------------------------------------------
+    # Mutator events
+    # ------------------------------------------------------------------
+
+    def on_alloc(self, handle: Handle, frame: Frame) -> EquiliveBlock:
+        """A new object is associated with the currently active frame."""
+        self.stats.objects_created += 1
+        block = self.equilive.create(handle, frame)
+        if frame is self.static_frame:
+            # Allocated outside any method (class loading, interpreter
+            # internals): immediately static, per section 3.2.
+            self._pin_block(block, CAUSE_INTERN)
+        return block
+
+    def on_store(self, container: Handle, value: Optional[Handle]) -> None:
+        """``putfield``/``aastore``: symmetric contamination (chapter 2)."""
+        self.stats.store_events += 1
+        if value is None:
+            return
+        container.check_live()
+        value.check_live()
+        bc = self.equilive.block_of(container)
+        bv = self.equilive.block_of(value)
+        if bc is bv:
+            return
+        if bv.is_static and not bc.is_static and self.policy.static_opt:
+            # Section 3.4: referencing an already-static object cannot make
+            # it "more live"; skip contaminating the container.
+            self.stats.static_opt_hits += 1
+            return
+        self._merge(bc, bv)
+
+    def on_putstatic(self, value: Optional[Handle]) -> None:
+        """A static variable now references ``value``: pin to frame 0."""
+        self.stats.putstatic_events += 1
+        if value is None:
+            return
+        value.check_live()
+        self.pin_static(value, CAUSE_PUTSTATIC)
+
+    def on_areturn(self, value: Handle, caller: Optional[Frame]) -> None:
+        """``areturn``: the block must outlive the caller's frame."""
+        self.stats.areturn_events += 1
+        value.check_live()
+        if caller is None:
+            # Returned off the bottom of a thread's stack (or to a native
+            # caller with no frame): nothing anchors it, pin conservatively.
+            self.pin_static(value, CAUSE_ROOTLESS)
+            return
+        block = self.equilive.block_of(value)
+        if block.is_static:
+            return
+        if caller.is_older_than(block.frame):
+            self.equilive.move_to_frame(block, caller)
+
+    def on_access(self, handle: Handle, thread_id: int) -> None:
+        """Any heap access: detect sharing between threads (section 3.3)."""
+        handle.check_live()
+        if handle.pinned_cause is not None:
+            return  # already static; no further action can affect it
+        if handle.alloc_thread != thread_id:
+            self.pin_static(handle, CAUSE_SHARED)
+
+    def on_intern(self, handle: Handle) -> None:
+        """Interpreter-internal static reference (String.intern, section 3.2)."""
+        self.pin_static(handle, CAUSE_INTERN)
+
+    def on_native_escape(self, handle: Handle) -> None:
+        """Object handed to native code (section 3.3): pin conservatively."""
+        self.pin_static(handle, CAUSE_NATIVE)
+
+    def on_frame_pop(self, frame: Frame) -> int:
+        """Collect every equilive block dependent on the popped frame.
+
+        Returns the number of objects reclaimed.  With recycling enabled the
+        dead objects are parked for reuse instead of freed (section 3.7).
+        """
+        self.stats.frame_pops += 1
+        if not frame.cg_blocks:
+            return 0
+        freed = 0
+        recycling = self.policy.recycling
+        blocks = list(frame.cg_blocks)
+        for block in blocks:
+            live = list(block.live_members())
+            self.equilive.detach(block)
+            self.equilive.forget_members(block)
+            if not live:
+                continue
+            if self.policy.paranoid and self.reachability_probe is not None:
+                self.reachability_probe(live)
+            self.stats.blocks_collected += 1
+            self.stats.block_size_hist[len(live)] += 1
+            if not block.ever_unioned:
+                self.stats.exact_blocks += 1
+                self.stats.exact_objects += len(live)
+            for handle in live:
+                self.stats.age_hist[handle.birth_depth - frame.depth] += 1
+                if recycling:
+                    self.heap.retire(handle, "contaminated-gc")
+                else:
+                    self.heap.free(handle, "contaminated-gc")
+                freed += 1
+            if recycling:
+                self.recycle.park(live)
+        self.stats.objects_popped += freed
+        return freed
+
+    # ------------------------------------------------------------------
+    # Allocation-time recycling hook (section 3.7)
+    # ------------------------------------------------------------------
+
+    def take_recycled(self, size: int, cls=None) -> Optional[Handle]:
+        """Search the recycle list for ``size`` words of storage.
+
+        With by-type recycling enabled (chapter 6), an exact (class, size)
+        bucket is consulted first; otherwise this is the section 3.7
+        linear first-fit.
+        """
+        if not self.policy.recycling:
+            return None
+        donor = self.recycle.take_fit(size, cls=cls)
+        if donor is not None:
+            self.stats.objects_recycled += 1
+        return donor
+
+    # ------------------------------------------------------------------
+    # Tracing-collector integration
+    # ------------------------------------------------------------------
+
+    def on_collected_by_msa(self, handle: Handle) -> None:
+        """The tracing collector reclaimed an object CG still thought live.
+
+        The handle stays on its block's member list with its ``freed`` flag
+        set (lazy deletion); the block skips it when it is eventually popped.
+        """
+        self.stats.collected_by_msa += 1
+
+    def begin_reset(self) -> ResetSnapshot:
+        """Start a section 3.6 reset pass: snapshot and dismantle all blocks."""
+        snapshot = ResetSnapshot()
+        for block in self.equilive.blocks():
+            entry = (block.is_static, block.frame.depth)
+            for handle in block.live_members():
+                snapshot.entries[handle.id] = entry
+        self.equilive.dismantle_all()
+        return snapshot
+
+    def reset_assign(self, handle: Handle, frame: Frame) -> None:
+        """Associate ``handle`` with ``frame`` (first root that reaches it)."""
+        if self.equilive.has_block(handle):
+            raise IllegalStateError(f"reset_assign of already-assigned #{handle.id}")
+        block = self.equilive.create(handle, frame)
+        if frame is self.static_frame:
+            block.static_cause = handle.pinned_cause or CAUSE_MERGED
+            if handle.pinned_cause is None:
+                handle.pinned_cause = block.static_cause
+                self.stats.objects_pinned[block.static_cause] += 1
+
+    def reset_union(self, a: Handle, b: Handle) -> None:
+        """Union along a reference edge discovered during marking."""
+        ba = self.equilive.block_of(a)
+        bb = self.equilive.block_of(b)
+        if ba is not bb:
+            self._merge(ba, bb)
+
+    def end_reset(self, snapshot: ResetSnapshot) -> int:
+        """Finish a reset pass; returns the number of less-live objects.
+
+        An object is *less live* when its rebuilt dependence is strictly
+        younger than before the pass (e.g. it dropped out of the static set,
+        or moved to a deeper frame) — the approximation error the reset pass
+        repairs (Fig. 4.11).
+        """
+        self.stats.reset_passes += 1
+        improved = 0
+        for block in self.equilive.blocks():
+            now_static = block.is_static
+            depth_now = block.frame.depth
+            for handle in block.live_members():
+                was = snapshot.entries.get(handle.id)
+                if was is None:
+                    continue  # allocated after the snapshot; nothing to compare
+                was_static, depth_before = was
+                if was_static and not now_static:
+                    improved += 1
+                    handle.pinned_cause = None
+                elif not was_static and not now_static and depth_now > depth_before:
+                    improved += 1
+        self.stats.less_live += improved
+        return improved
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def pin_static(self, handle: Handle, cause: str) -> None:
+        """Pin ``handle``'s whole block to frame 0 with the given cause."""
+        block = self.equilive.block_of(handle)
+        if block.is_static:
+            return
+        self.stats.static_pins[cause] += 1
+        self._pin_block(block, cause)
+
+    def _pin_block(self, block: EquiliveBlock, cause: str) -> None:
+        self._stamp_members(block, cause)
+        block.static_cause = cause
+        self.equilive.pin_static(block, cause)
+
+    def _stamp_members(self, block: EquiliveBlock, cause: str) -> None:
+        stamped = self.stats.objects_pinned
+        for handle in block.members:
+            if not handle.freed and handle.pinned_cause is None:
+                handle.pinned_cause = cause
+                stamped[cause] += 1
+
+    def _merge(self, ba: EquiliveBlock, bb: EquiliveBlock) -> EquiliveBlock:
+        """Merge two distinct blocks per the paper's rules (section 2.2)."""
+        if ba.is_static or bb.is_static:
+            cause = ba.static_cause or bb.static_cause or CAUSE_MERGED
+            if not ba.is_static:
+                self._stamp_members(ba, cause)
+                ba.static_cause = cause
+            if not bb.is_static:
+                self._stamp_members(bb, cause)
+                bb.static_cause = cause
+            target = self.static_frame
+        elif ba.frame.thread_id != bb.frame.thread_id:
+            # Blocks anchored in different threads' stacks have no common
+            # frame order; treat as shared (section 3.3).
+            self.stats.static_pins[CAUSE_SHARED] += 1
+            self._stamp_members(ba, CAUSE_SHARED)
+            self._stamp_members(bb, CAUSE_SHARED)
+            ba.static_cause = CAUSE_SHARED
+            bb.static_cause = CAUSE_SHARED
+            target = self.static_frame
+        else:
+            target = ba.frame if ba.frame.is_older_than(bb.frame) else bb.frame
+        merged = self.equilive.merge(ba, bb, target)
+        self.stats.contaminations += 1
+        return merged
+
+    # ------------------------------------------------------------------
+    # End-of-run accounting
+    # ------------------------------------------------------------------
+
+    def final_census(self) -> Dict[str, int]:
+        """Classify surviving objects: the popped/static/thread breakdown
+        of Tables A.2-A.4 plus the per-cause static composition of A.1."""
+        static_count = 0
+        shared_count = 0
+        for block in self.equilive.blocks():
+            for handle in block.live_members():
+                if handle.pinned_cause == CAUSE_SHARED:
+                    shared_count += 1
+                else:
+                    static_count += 1
+        return {
+            "popped": self.stats.objects_popped,
+            "static": static_count,
+            "thread": shared_count,
+            "collected_by_msa": self.stats.collected_by_msa,
+        }

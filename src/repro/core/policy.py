@@ -1,0 +1,87 @@
+"""Configuration knobs for the contaminated-garbage collector.
+
+Each flag corresponds to a design point evaluated in the paper:
+
+* ``static_opt`` — the Plezbert optimization (thesis section 3.4): storing a
+  reference *to* an already-static object does not contaminate the storer.
+  Fig. 4.1 compares collectability with and without it.
+* ``recycling`` — deferred freeing with first-fit reuse of dead objects at
+  allocation time (section 3.7, Figs. 4.12/4.13).
+* ``recycle_by_type`` — the chapter 6 future-work variant: dead objects are
+  additionally indexed by (class, size) so same-type allocations reuse
+  storage in O(1) instead of a linear first-fit scan.  Implies
+  ``recycling``.
+* ``resetting`` — rebuild CG structures from true reachability during each
+  mark-sweep pass (section 3.6, Fig. 4.11).
+* ``handle_words`` — accounted handle width: 16 for the straightforward CG
+  handle, 8 for the squeezed variant (section 3.5), 2 for the unmodified JDK.
+* ``paranoid`` — reproduction-only: independently verify, at every frame pop,
+  that no object CG is about to free is still reachable.  Quadratic; used by
+  the test suite, never by benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..jvm.heap import (
+    HANDLE_WORDS_CG_SQUEEZED,
+    HANDLE_WORDS_CG_WIDE,
+    HANDLE_WORDS_JDK,
+)
+
+
+@dataclass(frozen=True)
+class CGPolicy:
+    """Immutable CG configuration; pass to the runtime at construction."""
+
+    enabled: bool = True
+    static_opt: bool = True
+    recycling: bool = False
+    recycle_by_type: bool = False
+    resetting: bool = False
+    handle_words: int = HANDLE_WORDS_CG_WIDE
+    paranoid: bool = False
+
+    def __post_init__(self) -> None:
+        if self.recycle_by_type and not self.recycling:
+            # Typed indexing is a refinement of recycling, not a mode of
+            # its own; normalise rather than reject.
+            object.__setattr__(self, "recycling", True)
+        valid_widths = (
+            HANDLE_WORDS_JDK,
+            HANDLE_WORDS_CG_SQUEEZED,
+            HANDLE_WORDS_CG_WIDE,
+        )
+        if self.handle_words not in valid_widths:
+            raise ValueError(
+                f"handle_words must be one of {valid_widths}, got {self.handle_words}"
+            )
+
+    @staticmethod
+    def disabled() -> "CGPolicy":
+        """The unmodified base system (JDK-style: traditional GC only)."""
+        return CGPolicy(enabled=False, handle_words=HANDLE_WORDS_JDK)
+
+    @staticmethod
+    def paper_default() -> "CGPolicy":
+        """The configuration behind the headline results (opt on, Fig. 4.1)."""
+        return CGPolicy()
+
+    @staticmethod
+    def no_opt() -> "CGPolicy":
+        """CG without the section 3.4 optimization (Fig. 4.1 'no opt' column)."""
+        return CGPolicy(static_opt=False)
+
+    @staticmethod
+    def with_recycling() -> "CGPolicy":
+        return CGPolicy(recycling=True)
+
+    @staticmethod
+    def with_typed_recycling() -> "CGPolicy":
+        """Chapter 6's by-type recycling extension."""
+        return CGPolicy(recycling=True, recycle_by_type=True)
+
+    @staticmethod
+    def with_resetting() -> "CGPolicy":
+        return CGPolicy(resetting=True)

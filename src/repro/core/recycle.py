@@ -1,0 +1,131 @@
+"""Deferred freeing and reuse of CG-collected objects (section 3.7 + §6).
+
+Thesis section 3.7: instead of returning each dead object to the free list
+at frame pop, the popped frame's equilive sets are spliced onto a *recycle
+list*.  When an allocation fails, the allocator first walks the recycle
+list doing a first-fit search for a dead object at least as big as
+requested, reusing its storage directly; only then does it fall back to the
+tracing collector.  This converts per-object free-list insertion (and the
+allocator's post-fill heap rescans) into a pointer update at pop time and a
+usually-short scan at allocation time.
+
+The list is unordered, so the worst case is O(n) per failed lookup — the
+thesis calls this out ("Another possibility would be to keep the sets
+organized by type, so that we could merely look for a specific type of
+object").  That future-work variant is implemented here too: with
+``by_type=True`` dead objects are additionally indexed by (class, size), so
+an allocation of a seen type is a dictionary hit ("For languages like Java,
+where objects of a given type always take the same size (except for
+arrays), such object recycling could have a big payoff", thesis chapter 6).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..jvm.heap import Handle, Heap
+from ..jvm.model import JClass
+from .stats import CGStats
+
+
+class RecycleList:
+    """Dead-but-unfreed objects awaiting reuse.
+
+    Two lookup disciplines:
+
+    * default — the thesis's unordered first-fit scan (section 3.7);
+    * ``by_type=True`` — the chapter 6 extension: an exact (class, size)
+      bucket is consulted first (O(1)); the linear scan remains only as the
+      fallback for never-seen shapes.
+    """
+
+    def __init__(self, heap: Heap, stats: CGStats, by_type: bool = False) -> None:
+        self._heap = heap
+        self._stats = stats
+        self.by_type = by_type
+        self._dead: List[Handle] = []
+        #: (class name, size) -> stack of dead handles (typed mode only).
+        self._buckets: Dict[Tuple[str, int], List[Handle]] = defaultdict(list)
+        self._parked_words = 0
+
+    def __len__(self) -> int:
+        return len(self._dead)
+
+    @property
+    def parked_words(self) -> int:
+        """Storage currently held off the free list (for heap accounting)."""
+        return self._parked_words
+
+    def park(self, handles: List[Handle]) -> None:
+        """Splice a popped frame's dead objects onto the list (O(1) per list)."""
+        for handle in handles:
+            self._parked_words += handle.size
+            if self.by_type:
+                self._buckets[(handle.cls.name, handle.size)].append(handle)
+        self._dead.extend(handles)
+
+    def take_fit(self, size: int, cls: Optional[JClass] = None) -> Optional[Handle]:
+        """Find a dead object with at least ``size`` words of storage.
+
+        In typed mode an exact (class, size) bucket hit costs one step and
+        returns storage of precisely the right shape; otherwise (and always
+        in plain mode) this is the thesis's linear first-fit.
+        """
+        if self.by_type and cls is not None:
+            bucket = self._buckets.get((cls.name, size))
+            if bucket:
+                self._stats.recycle_search_steps += 1
+                self._stats.recycle_typed_hits += 1
+                handle = bucket.pop()
+                self._remove_from_dead(handle)
+                self._parked_words -= handle.size
+                return handle
+        dead = self._dead
+        for i, handle in enumerate(dead):
+            self._stats.recycle_search_steps += 1
+            if handle.size >= size:
+                dead[i] = dead[-1]
+                dead.pop()
+                self._parked_words -= handle.size
+                if self.by_type:
+                    self._remove_from_bucket(handle)
+                return handle
+        self._stats.recycle_misses += 1
+        return None
+
+    def flush(self) -> int:
+        """Return all parked storage to the free list (pre-GC / pre-compaction).
+
+        Returns the number of objects released.  The tracing collector calls
+        this so sweep and compaction see a consistent free list.
+        """
+        released = len(self._dead)
+        for handle in self._dead:
+            self._heap.release_recycled(handle)
+        self._dead.clear()
+        self._buckets.clear()
+        self._parked_words = 0
+        return released
+
+    # ------------------------------------------------------------------
+
+    def _remove_from_dead(self, handle: Handle) -> None:
+        # Swap-remove by identity; typed hits are usually near the tail
+        # (LIFO reuse keeps recently popped storage hot).
+        dead = self._dead
+        for i in range(len(dead) - 1, -1, -1):
+            if dead[i] is handle:
+                dead[i] = dead[-1]
+                dead.pop()
+                return
+
+    def _remove_from_bucket(self, handle: Handle) -> None:
+        bucket = self._buckets.get((handle.cls.name, handle.size))
+        if bucket is None:
+            return
+        for i in range(len(bucket) - 1, -1, -1):
+            if bucket[i] is handle:
+                bucket[i] = bucket[-1]
+                bucket.pop()
+                return

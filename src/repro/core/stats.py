@@ -1,0 +1,106 @@
+"""Counters for everything the paper's evaluation chapter reports.
+
+One :class:`CGStats` instance per runtime.  The harness combines these with
+heap/collector counters into per-figure rows; nothing here is interpreted —
+percentages and bucketing happen in :mod:`repro.harness`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: Static-pin causes, in the vocabulary of the thesis.
+CAUSE_PUTSTATIC = "putstatic"      # section 3.1.3: putstatic instruction
+CAUSE_INTERN = "intern"            # section 3.2: interpreter-internal refs
+CAUSE_NATIVE = "native"            # section 3.3: escaped to native code
+CAUSE_SHARED = "shared"            # section 3.3: touched by a second thread
+CAUSE_MERGED = "merged"            # contaminated by a static object
+CAUSE_ROOTLESS = "rootless"        # returned off the bottom of a thread stack
+
+
+@dataclass
+class CGStats:
+    """Raw event counters maintained by the CG collector."""
+
+    # --- object population -------------------------------------------------
+    objects_created: int = 0
+    #: Objects reclaimed by CG when their dependent frame popped (Fig. 4.1).
+    objects_popped: int = 0
+    #: Objects whose parked storage was reused by a later allocation (Fig. 4.13).
+    objects_recycled: int = 0
+    #: Objects reclaimed by the tracing collector instead of CG (Fig. 4.11).
+    collected_by_msa: int = 0
+
+    # --- event counts (cost-model inputs) -----------------------------------
+    store_events: int = 0
+    areturn_events: int = 0
+    putstatic_events: int = 0
+    frame_pops: int = 0
+    blocks_collected: int = 0
+    #: Unions that actually merged two blocks ("contaminations").
+    contaminations: int = 0
+    #: Stores suppressed by the section 3.4 optimization.
+    static_opt_hits: int = 0
+
+    # --- static-set composition (Figs. 4.2-4.4, A.1-A.4) --------------------
+    #: Blocks pinned static, keyed by cause.
+    static_pins: Counter = field(default_factory=Counter)
+    #: Objects stamped with each cause when their block went static.
+    objects_pinned: Counter = field(default_factory=Counter)
+
+    # --- equilive block shape (Fig. 4.5) -------------------------------------
+    #: Size of each block at the moment CG collected it -> count of blocks.
+    block_size_hist: Counter = field(default_factory=Counter)
+    #: Blocks collected that never participated in a union ("exact").
+    exact_blocks: int = 0
+    exact_objects: int = 0
+
+    # --- age at death (Fig. 4.6) ---------------------------------------------
+    #: Frame distance (birth depth - collecting frame depth) -> object count.
+    age_hist: Counter = field(default_factory=Counter)
+
+    # --- resetting (section 3.6, Fig. 4.11) ----------------------------------
+    reset_passes: int = 0
+    #: Objects whose dependence improved (moved younger) during a reset pass.
+    less_live: int = 0
+
+    # --- recycling (section 3.7 / chapter 6 typed variant) --------------------
+    recycle_search_steps: int = 0
+    recycle_misses: int = 0
+    recycle_typed_hits: int = 0
+
+    def collectable_fraction(self) -> float:
+        """Fraction of created objects CG reclaimed (the Fig. 4.1 metric)."""
+        if self.objects_created == 0:
+            return 0.0
+        return self.objects_popped / self.objects_created
+
+    def exact_fraction(self) -> float:
+        """Fraction of created objects collected in never-unioned blocks."""
+        if self.objects_created == 0:
+            return 0.0
+        return self.exact_objects / self.objects_created
+
+    def age_buckets(self) -> Dict[str, int]:
+        """Fig. 4.6 bucketing: distances 0..5 plus '>5'."""
+        buckets = {str(d): 0 for d in range(6)}
+        buckets[">5"] = 0
+        for distance, count in self.age_hist.items():
+            key = str(distance) if distance <= 5 else ">5"
+            buckets[key] += count
+        return buckets
+
+    def block_size_buckets(self) -> Dict[str, int]:
+        """Fig. 4.5 bucketing: sizes 1-5, 6-10, >10."""
+        buckets = {"1": 0, "2": 0, "3": 0, "4": 0, "5": 0, "6-10": 0, ">10": 0}
+        for size, count in self.block_size_hist.items():
+            if size <= 5:
+                buckets[str(size)] += count
+            elif size <= 10:
+                buckets["6-10"] += count
+            else:
+                buckets[">10"] += count
+        return buckets

@@ -1,0 +1,16 @@
+"""Tracing ("traditional") collectors CG runs in concert with."""
+
+from .base import GCWork, mark_from
+from .generational import GenerationalCollector
+from .marksweep import MarkSweepCollector
+from .nullgc import NullCollector
+from .train import TrainCollector
+
+__all__ = [
+    "GCWork",
+    "GenerationalCollector",
+    "MarkSweepCollector",
+    "NullCollector",
+    "TrainCollector",
+    "mark_from",
+]

@@ -1,0 +1,78 @@
+"""Common interface and counters for tracing collectors.
+
+CG is designed to "operate in concert with a traditional collector,
+decreasing the frequency with which the traditional collector must be
+called" (thesis chapter 1).  The tracing collectors here are that
+traditional side: they run when allocation fails (or on the periodic
+trigger used by the resetting experiment, Fig. 4.11), they enumerate roots
+from thread stacks, statics, the intern table, and native pins, and they
+notify the CG collector of anything they reclaim so its lazy structures stay
+consistent.
+
+``GCWork`` counters are the cost-model inputs: the paper attributes CG's
+benefit to *avoided marking* ("the marking phase pollutes the cache"), so
+mark visits are the headline quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Protocol, TYPE_CHECKING
+
+from ..jvm.heap import Handle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..jvm.runtime import Runtime
+
+
+@dataclass
+class GCWork:
+    """Work performed by a tracing collector over a run."""
+
+    cycles: int = 0
+    minor_cycles: int = 0
+    mark_visits: int = 0
+    sweep_visits: int = 0
+    objects_collected: int = 0
+    words_collected: int = 0
+    compactions: int = 0
+    objects_moved: int = 0
+    #: Write-barrier events recorded (generational / train only).
+    barrier_hits: int = 0
+
+
+class TracingCollector(Protocol):
+    """What the runtime requires of a traditional collector."""
+
+    work: GCWork
+
+    def collect(self) -> int:
+        """Run a full collection; return the number of objects reclaimed."""
+        ...
+
+
+def mark_from(roots: Iterable[Handle], work: GCWork) -> List[Handle]:
+    """Standard iterative marking; returns the list of marked handles.
+
+    Callers must clear ``mark`` flags afterwards (sweep does this for
+    survivors).  Freed handles are skipped defensively — roots are scanned
+    from live frames, so they should never appear, and the property tests
+    assert they don't.
+    """
+    marked: List[Handle] = []
+    stack = [h for h in roots if not h.freed]
+    for handle in stack:
+        handle.mark = True
+    # De-duplicate root entries that were marked twice before scanning.
+    stack = list({id(h): h for h in stack}.values())
+    marked.extend(stack)
+    work.mark_visits += len(stack)
+    while stack:
+        handle = stack.pop()
+        for ref in handle.references():
+            if not ref.mark and not ref.freed:
+                ref.mark = True
+                marked.append(ref)
+                stack.append(ref)
+                work.mark_visits += 1
+    return marked

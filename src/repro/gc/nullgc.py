@@ -1,0 +1,26 @@
+"""The no-op collector: never reclaims anything.
+
+Section 4.5 isolates CG's maintenance overhead by running the base system
+"with the asynchronous GC disabled as well as giving it plenty of storage".
+Configuring the runtime with this collector (and a big heap) reproduces that
+setup: any allocation failure becomes an immediate OutOfMemoryError, so a
+run that completes performed zero tracing work.
+"""
+
+from __future__ import annotations
+
+from .base import GCWork
+
+
+class NullCollector:
+    """Never collects; used to measure mutator-side overheads only."""
+
+    name = "none"
+
+    def __init__(self, runtime=None) -> None:
+        self.runtime = runtime
+        self.work = GCWork()
+
+    def collect(self) -> int:
+        self.work.cycles += 1
+        return 0

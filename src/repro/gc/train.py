@@ -1,0 +1,210 @@
+"""A simplified train-algorithm collector (thesis section 5.1 comparator).
+
+The thesis relates CG to the train algorithm: "Each stack frame is
+associated with a train.  When the stack frame is popped, all cars of the
+frame's train are known to be free...  Instead of moving individual objects,
+our approach essentially joins two trains."  To let the harness compare the
+two incremental schemes on identical workloads, this module implements the
+classic train discipline in reduced form:
+
+* the mature space is ordered into *trains* of fixed-capacity *cars*;
+* each increment collects the lowest car of the lowest train: objects in it
+  that are referenced from outside the car are evacuated to the train of a
+  referencer (clustering related objects, which is the algorithm's point);
+  unreferenced remainder is reclaimed;
+* when the lowest train as a whole has no external references, the entire
+  train is reclaimed at once — this is how the algorithm collects cyclic
+  garbage that per-car evacuation would chase forever.
+
+Remembered sets are approximated by a scan (acceptable at simulator scale;
+the per-reference bookkeeping cost is modelled by ``barrier_hits``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from ..jvm.heap import Handle
+from .base import GCWork, mark_from
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..jvm.runtime import Runtime
+
+
+class _Car:
+    __slots__ = ("train_id", "car_id", "members")
+
+    def __init__(self, train_id: int, car_id: int) -> None:
+        self.train_id = train_id
+        self.car_id = car_id
+        self.members: Dict[int, Handle] = {}
+
+
+class TrainCollector:
+    """Reduced train algorithm over the shared heap."""
+
+    name = "train"
+
+    def __init__(self, runtime: "Runtime", car_capacity: int = 64) -> None:
+        self.runtime = runtime
+        self.work = GCWork()
+        self.car_capacity = max(1, car_capacity)
+        self._cars: "OrderedDict[int, _Car]" = OrderedDict()
+        self._car_of: Dict[int, int] = {}  # handle id -> car key
+        self._next_train = 1
+        self._next_car = 1
+        self._open_car: Optional[_Car] = None
+
+    # ------------------------------------------------------------------
+    # Runtime hooks
+    # ------------------------------------------------------------------
+
+    def note_allocation(self, handle: Handle) -> None:
+        car = self._open_car
+        if car is None or len(car.members) >= self.car_capacity:
+            car = self._new_car(self._next_train)
+            self._open_car = car
+        car.members[handle.id] = handle
+        self._car_of[handle.id] = car.car_id
+
+    def write_barrier(self, container: Handle, value: Handle) -> None:
+        self.work.barrier_hits += 1
+
+    # ------------------------------------------------------------------
+
+    def _new_car(self, train_id: int) -> _Car:
+        car = _Car(train_id, self._next_car)
+        self._next_car += 1
+        self._cars[car.car_id] = car
+        return car
+
+    def _drop_dead_members(self) -> None:
+        for car in list(self._cars.values()):
+            dead = [hid for hid, h in car.members.items() if h.freed]
+            for hid in dead:
+                del car.members[hid]
+                self._car_of.pop(hid, None)
+            if not car.members and car is not self._open_car:
+                del self._cars[car.car_id]
+
+    # ------------------------------------------------------------------
+    # Collection increments
+    # ------------------------------------------------------------------
+
+    def collect(self) -> int:
+        """Run increments until a full rotation of current cars completes."""
+        self._drop_dead_members()
+        rotations = len(self._cars) + 1
+        freed = 0
+        for _ in range(rotations):
+            freed += self.collect_increment()
+            heap = self.runtime.heap
+            if heap.free_list.largest_block >= heap.capacity // 16:
+                break
+        self.runtime.heap.free_list.reset_scan()
+        return freed
+
+    def collect_increment(self) -> int:
+        """Collect the lowest car (and the lowest train when it is dead)."""
+        self.work.cycles += 1
+        self._drop_dead_members()
+        if not self._cars:
+            return 0
+        lowest = next(iter(self._cars.values()))
+        marked = mark_from(self.runtime.iter_roots(), self.work)
+        lowest_train = lowest.train_id
+        train_reachable = any(
+            h.mark
+            for car in self._cars.values()
+            if car.train_id == lowest_train
+            for h in car.members.values()
+        )
+        freed = 0
+        if not train_reachable:
+            # Whole lowest train is garbage (this is what reclaims cycles).
+            for car in [c for c in self._cars.values() if c.train_id == lowest_train]:
+                freed += self._reclaim_car(car)
+        else:
+            freed += self._evacuate_and_reclaim(lowest, marked)
+        for handle in marked:
+            handle.mark = False
+        return freed
+
+    def _reclaim_car(self, car: _Car) -> int:
+        runtime = self.runtime
+        freed = 0
+        for handle in list(car.members.values()):
+            if handle.mark:
+                continue  # directly rooted; move to a fresh train instead
+            if runtime.collector is not None:
+                runtime.collector.on_collected_by_msa(handle)
+            self.work.objects_collected += 1
+            self.work.words_collected += handle.size
+            runtime.heap.free(handle, "train")
+            freed += 1
+        survivors = [h for h in car.members.values() if not h.freed]
+        del self._cars[car.car_id]
+        if car is self._open_car:
+            self._open_car = None
+        for handle in survivors:
+            del self._car_of[handle.id]
+            self._append_to_train(handle, self._next_train + 1)
+        return freed
+
+    def _evacuate_and_reclaim(self, car: _Car, marked: List[Handle]) -> int:
+        """Move externally referenced members out, reclaim the rest."""
+        external_targets: Set[int] = set()
+        referencer_train: Dict[int, int] = {}
+        car_ids = set(car.members)
+        for handle in marked:
+            if handle.freed:
+                continue
+            src_car = self._car_of.get(handle.id)
+            src_train = (
+                self._cars[src_car].train_id if src_car in self._cars else None
+            )
+            for ref in handle.references():
+                if ref.id in car_ids and handle.id not in car_ids:
+                    external_targets.add(ref.id)
+                    if src_train is not None:
+                        referencer_train.setdefault(ref.id, src_train)
+        # Root-referenced members also survive.
+        for handle in car.members.values():
+            if handle.mark:
+                external_targets.add(handle.id)
+        freed = 0
+        runtime = self.runtime
+        for handle in list(car.members.values()):
+            if handle.id in external_targets:
+                continue
+            if handle.mark:
+                continue
+            if runtime.collector is not None:
+                runtime.collector.on_collected_by_msa(handle)
+            self.work.objects_collected += 1
+            self.work.words_collected += handle.size
+            runtime.heap.free(handle, "train")
+            freed += 1
+        survivors = [h for h in car.members.values() if not h.freed]
+        del self._cars[car.car_id]
+        if car is self._open_car:
+            self._open_car = None
+        for handle in survivors:
+            del self._car_of[handle.id]
+            target = referencer_train.get(handle.id, self._next_train + 1)
+            self._append_to_train(handle, target)
+            self.work.objects_moved += 1
+        return freed
+
+    def _append_to_train(self, handle: Handle, train_id: int) -> None:
+        if train_id > self._next_train:
+            self._next_train = train_id
+        tail: Optional[_Car] = None
+        for car in self._cars.values():
+            if car.train_id == train_id and len(car.members) < self.car_capacity:
+                tail = car
+        if tail is None:
+            tail = self._new_car(train_id)
+        tail.members[handle.id] = handle
+        self._car_of[handle.id] = tail.car_id

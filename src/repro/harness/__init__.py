@@ -1,0 +1,20 @@
+"""Evaluation harness: run configurations and regenerate the paper's figures."""
+
+from .costmodel import CostBreakdown, cost_of
+from .figures import ALL_FIGURES, cached_run, clear_cache
+from .runner import SYSTEMS, RunResult, config_for, run_workload
+from .tables import Table, render_all
+
+__all__ = [
+    "ALL_FIGURES",
+    "CostBreakdown",
+    "RunResult",
+    "SYSTEMS",
+    "Table",
+    "cached_run",
+    "clear_cache",
+    "config_for",
+    "cost_of",
+    "render_all",
+    "run_workload",
+]

@@ -1,0 +1,61 @@
+"""Command-line entry point: print any figure/table from the paper.
+
+Usage::
+
+    python -m repro.harness.cli 4.1 4.5        # specific figures
+    python -m repro.harness.cli --all           # everything (slow: large runs)
+    python -m repro.harness.cli --small         # everything size-1 only
+    python -m repro.harness.cli --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import ALL_FIGURES
+
+SMALL_FIGURES = ["4.1", "4.2", "4.5", "4.6", "4.7", "4.11", "4.12", "4.13",
+                 "A.1", "A.2"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Regenerate tables/figures from 'Contaminated Garbage Collection'.",
+    )
+    parser.add_argument("figures", nargs="*", help="figure ids, e.g. 4.1 A.2")
+    parser.add_argument("--all", action="store_true", help="every figure")
+    parser.add_argument(
+        "--small", action="store_true", help="all size-1 figures (fast)"
+    )
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for fig_id in ALL_FIGURES:
+            print(fig_id)
+        return 0
+
+    wanted = list(args.figures)
+    if args.all:
+        wanted = list(ALL_FIGURES)
+    elif args.small and not wanted:
+        wanted = list(SMALL_FIGURES)
+    if not wanted:
+        parser.print_help()
+        return 2
+
+    unknown = [f for f in wanted if f not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure id(s): {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    for fig_id in wanted:
+        print(ALL_FIGURES[fig_id]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

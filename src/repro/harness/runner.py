@@ -1,0 +1,193 @@
+"""Run (workload, size, system) combinations and collect everything.
+
+A *system* is one of the named configurations the paper compares:
+
+==============  ==============================================================
+``cg``          CG (with the section 3.4 optimization) + mark-sweep backup —
+                the paper's preferred system
+``cg-noopt``    CG without the optimization (Fig. 4.1's left column)
+``cg-recycle``  CG + the section 3.7 recycling free list (Figs. 4.12/4.13)
+``cg-recycle-typed``  the chapter 6 extension: recycling indexed by
+                (class, size) for O(1) same-type reuse
+``cg-reset``    CG + the section 3.6 reset pass, MSA forced periodically
+                (Fig. 4.11's protocol: "GC every 100,000 instructions",
+                scaled to this substrate)
+``jdk``         the unmodified base system: mark-sweep only
+``cg-nogc``     CG with the tracing collector disabled and ample storage
+                (section 4.5's overhead-isolation setup)
+``jdk-nogc``    the base system idem (the other half of that comparison)
+``gen``         generational tracing collector, no CG (related work)
+``train``       train-algorithm tracing collector, no CG (section 5.1)
+==============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..core.policy import CGPolicy
+from ..core.stats import CGStats
+from ..gc.base import GCWork
+from ..jvm.runtime import Runtime, RuntimeConfig
+from ..workloads.base import Workload, get_workload
+from .costmodel import CostBreakdown, cost_of
+
+#: Ample heap used by the *-nogc isolation systems.
+BIG_HEAP_WORDS = 1 << 22
+
+#: The thesis ran MSA "every 100,000 JVM instructions" for Fig. 4.11; our
+#: runs are ~20x smaller, so the period scales accordingly.
+RESET_PERIOD_OPS = 5000
+
+SYSTEMS = (
+    "cg", "cg-noopt", "cg-recycle", "cg-recycle-typed", "cg-reset",
+    "jdk", "cg-nogc", "cg-noopt-nogc", "jdk-nogc", "gen", "train",
+)
+
+
+def config_for(system: str, heap_words: int,
+               gc_period_ops: Optional[int] = None) -> RuntimeConfig:
+    """Build the RuntimeConfig for a named system."""
+    if system == "cg":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-noopt":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.no_opt(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-recycle":
+        return RuntimeConfig(heap_words=heap_words,
+                             cg=CGPolicy.with_recycling(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-recycle-typed":
+        return RuntimeConfig(heap_words=heap_words,
+                             cg=CGPolicy.with_typed_recycling(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-reset":
+        return RuntimeConfig(
+            heap_words=heap_words, cg=CGPolicy.with_resetting(),
+            tracing="marksweep",
+            gc_period_ops=gc_period_ops or RESET_PERIOD_OPS,
+        )
+    if system == "jdk":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-nogc":
+        return RuntimeConfig(heap_words=BIG_HEAP_WORDS,
+                             cg=CGPolicy.paper_default(), tracing="none")
+    if system == "cg-noopt-nogc":
+        return RuntimeConfig(heap_words=BIG_HEAP_WORDS,
+                             cg=CGPolicy.no_opt(), tracing="none")
+    if system == "jdk-nogc":
+        return RuntimeConfig(heap_words=BIG_HEAP_WORDS,
+                             cg=CGPolicy.disabled(), tracing="none")
+    if system == "gen":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
+                             tracing="generational")
+    if system == "train":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
+                             tracing="train")
+    raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
+
+
+@dataclass
+class RunResult:
+    """Everything a figure generator might need from one run."""
+
+    workload: str
+    size: int
+    system: str
+    objects_created: int
+    census: Dict[str, int]
+    cg_stats: Optional[CGStats]
+    gc_work: GCWork
+    cost: CostBreakdown
+    wall_seconds: float
+    ops: int
+    alloc_search_steps: int
+    peak_live_words: int
+    heap_words: int
+
+    # --- derived metrics used across figures -----------------------------
+
+    @property
+    def collectable_pct(self) -> float:
+        if self.objects_created == 0:
+            return 0.0
+        return 100.0 * self.census.get("popped", 0) / self.objects_created
+
+    @property
+    def static_pct(self) -> float:
+        if self.objects_created == 0:
+            return 0.0
+        return 100.0 * self.census.get("static", 0) / self.objects_created
+
+    @property
+    def thread_pct(self) -> float:
+        if self.objects_created == 0:
+            return 0.0
+        return 100.0 * self.census.get("thread", 0) / self.objects_created
+
+    @property
+    def exact_pct(self) -> float:
+        if self.cg_stats is None or self.objects_created == 0:
+            return 0.0
+        return 100.0 * self.cg_stats.exact_objects / self.objects_created
+
+    @property
+    def sim_ms(self) -> float:
+        return self.cost.total_ms
+
+
+def run_workload(
+    workload: Union[str, Workload],
+    size: int = 1,
+    system: str = "cg",
+    heap_words: Optional[int] = None,
+    gc_period_ops: Optional[int] = None,
+    seed: int = 2000,
+) -> RunResult:
+    """Execute one (workload, size, system) cell and gather its results."""
+    wl = get_workload(workload, seed) if isinstance(workload, str) else workload
+    heap = heap_words if heap_words is not None else wl.heap_words(size)
+    config = config_for(system, heap, gc_period_ops)
+    runtime = Runtime(config)
+    started = time.perf_counter()
+    wl.execute(runtime, size)
+    wall = time.perf_counter() - started
+
+    if runtime.collector is not None:
+        census = runtime.collector.final_census()
+        cg_stats = runtime.collector.stats
+        objects_created = cg_stats.objects_created
+        runtime.check_cg_invariants()
+        recycled = runtime.collector.recycle.parked_words
+    else:
+        live = runtime.heap.live_count()
+        census = {
+            "popped": 0,
+            "static": live,
+            "thread": 0,
+            "collected_by_msa": runtime.tracing.work.objects_collected,
+        }
+        cg_stats = None
+        objects_created = runtime.heap.objects_created
+        recycled = 0
+    runtime.heap.check_accounting(recycled)
+
+    return RunResult(
+        workload=wl.name,
+        size=size,
+        system=system,
+        objects_created=objects_created,
+        census=census,
+        cg_stats=cg_stats,
+        gc_work=runtime.tracing.work,
+        cost=cost_of(runtime),
+        wall_seconds=wall,
+        ops=runtime.ops,
+        alloc_search_steps=runtime.heap.free_list.search_steps,
+        peak_live_words=runtime.heap.peak_live_words,
+        heap_words=heap,
+    )

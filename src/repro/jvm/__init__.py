@@ -1,0 +1,63 @@
+"""The VM substrate: heap, frames, threads, interpreter, assembler."""
+
+from .assembler import assemble
+from .errors import (
+    ArrayIndexError,
+    AssemblerError,
+    IllegalStateError,
+    LinkageError,
+    NullPointerError,
+    OutOfMemoryError,
+    UseAfterCollect,
+    VerifyError,
+    VMError,
+)
+from .frames import CallStack, Frame, FrameIdSource, StaticFrame
+from .heap import (
+    HANDLE_WORDS_CG_SQUEEZED,
+    HANDLE_WORDS_CG_WIDE,
+    HANDLE_WORDS_JDK,
+    FreeList,
+    Handle,
+    Heap,
+)
+from .model import JClass, JMethod, Program
+from .mutator import Mutator
+from .natives import NativeEnv, NativeRegistry
+from .runtime import Runtime, RuntimeConfig
+from .strings import InternTable
+from .threads import JThread, Scheduler
+
+__all__ = [
+    "ArrayIndexError",
+    "AssemblerError",
+    "CallStack",
+    "Frame",
+    "FrameIdSource",
+    "FreeList",
+    "HANDLE_WORDS_CG_SQUEEZED",
+    "HANDLE_WORDS_CG_WIDE",
+    "HANDLE_WORDS_JDK",
+    "Handle",
+    "Heap",
+    "IllegalStateError",
+    "InternTable",
+    "JClass",
+    "JMethod",
+    "JThread",
+    "LinkageError",
+    "Mutator",
+    "NativeEnv",
+    "NativeRegistry",
+    "NullPointerError",
+    "OutOfMemoryError",
+    "Program",
+    "Runtime",
+    "RuntimeConfig",
+    "Scheduler",
+    "StaticFrame",
+    "UseAfterCollect",
+    "VMError",
+    "VerifyError",
+    "assemble",
+]

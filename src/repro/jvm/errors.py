@@ -1,0 +1,52 @@
+"""Error taxonomy for the VM substrate and the CG collector.
+
+``UseAfterCollect`` is the reproduction's *soundness oracle*: the CG collector
+marks every object it reclaims as tainted (thesis section 3.1.4, "Tainted
+Objects"), and any subsequent mutator access to a tainted handle raises this
+error.  A sound collector never triggers it; the test suite leans on this
+heavily, including under hypothesis-generated mutator programs.
+"""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for all errors raised by the VM substrate."""
+
+
+class OutOfMemoryError(VMError):
+    """The heap could not satisfy an allocation even after garbage collection."""
+
+
+class UseAfterCollect(VMError):
+    """A mutator touched an object that the CG collector already reclaimed.
+
+    This should never happen for a correct collector: it indicates the
+    collector freed a reachable object.  It exists as an executable assertion
+    of the paper's central safety claim ("It correctly identifies dead
+    objects").
+    """
+
+
+class LinkageError(VMError):
+    """A class, method, or field was referenced but never defined."""
+
+
+class VerifyError(VMError):
+    """Malformed bytecode: bad operands, stack underflow, type confusion."""
+
+
+class AssemblerError(VMError):
+    """The textual assembler rejected its input."""
+
+
+class NullPointerError(VMError):
+    """A field, array, or method access went through a null reference."""
+
+
+class ArrayIndexError(VMError):
+    """An array access was out of bounds."""
+
+
+class IllegalStateError(VMError):
+    """An API was used out of protocol (e.g. areturn with no caller frame)."""

@@ -1,0 +1,396 @@
+"""Handle-indirected heap with a JDK-1.1.8-style free-list allocator.
+
+Sun's JDK 1.1.8 interpreter manages objects through *handles*: a small
+fixed-size record holding the pointer to the object's current storage plus a
+method-table reference, so relocation only updates the handle (thesis section
+3.1).  We mirror that split:
+
+* :class:`Handle` — the per-object record.  Its Python attributes stand in
+  for the extra words the CG implementation added to the 2-word JDK handle
+  (union-find parent/rank, equilive list links, frame back-pointer, owning
+  thread, unique id, birth depth — thesis section 3.1.1).  The configured
+  *accounted* handle width (2, 8, or 16 words, section 3.5) is charged
+  against a separate handle region sized as a multiple of the base split.
+
+* :class:`FreeList` — the object-space allocator.  JDK 1.1.8 "does a linear
+  search through the object pool to find the first object that is at least as
+  big as requested", remembering where it last allocated (section 3.7) — a
+  classic next-fit.  We reproduce that, including address-ordered coalescing,
+  because the recycling experiment (Fig. 4.12/4.13) measures precisely the
+  cost of that search once the heap fills.
+
+Field *values* live in Python dictionaries on the handle; the simulated
+word-addressed space governs only placement, exhaustion, and search cost,
+which is all the paper's timing results depend on.  (Documented in DESIGN.md
+section 7.)
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .errors import OutOfMemoryError, UseAfterCollect, VMError
+from .model import JClass
+
+#: Payload words charged per array element.
+WORDS_PER_ELEMENT = 1
+#: Words of object header charged per allocation (class pointer + lock word).
+OBJECT_HEADER_WORDS = 2
+
+#: Handle widths, in words (thesis sections 3.1.1 and 3.5).
+HANDLE_WORDS_JDK = 2
+HANDLE_WORDS_CG_SQUEEZED = 8
+HANDLE_WORDS_CG_WIDE = 16
+
+
+class Handle:
+    """Per-object record: storage location, class, fields, and CG bookkeeping.
+
+    ``fields`` maps field name to value for ordinary objects; ``elements`` is
+    the backing list for arrays.  References are stored as :class:`Handle`
+    instances and null as ``None``, so collectors can discover the reference
+    graph with a single isinstance check.
+    """
+
+    __slots__ = (
+        "id",
+        "cls",
+        "addr",
+        "size",
+        "fields",
+        "elements",
+        "freed",
+        "freed_by",
+        "alloc_thread",
+        "birth_frame_id",
+        "birth_depth",
+        "shared",
+        "pinned_cause",
+        "mark",
+        "pyvalue",
+    )
+
+    def __init__(
+        self,
+        handle_id: int,
+        cls: JClass,
+        addr: int,
+        size: int,
+        alloc_thread: int,
+        birth_frame_id: int,
+        birth_depth: int,
+        length: Optional[int] = None,
+    ) -> None:
+        self.id = handle_id
+        self.cls = cls
+        self.addr = addr
+        self.size = size
+        self.fields: Optional[Dict[str, object]] = None
+        self.elements: Optional[List[object]] = None
+        if cls.is_array:
+            self.elements = [None] * (length or 0)
+        else:
+            self.fields = {name: None for name in cls.fields}
+        self.freed = False
+        self.freed_by: Optional[str] = None
+        self.alloc_thread = alloc_thread
+        self.birth_frame_id = birth_frame_id
+        self.birth_depth = birth_depth
+        self.shared = False
+        self.pinned_cause = None  # static-pin cause stamp (see core.stats)
+        self.mark = False
+        # Interpreter-internal payload (used by java/lang/String).
+        self.pyvalue: object = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.elements is not None
+
+    @property
+    def length(self) -> int:
+        if self.elements is None:
+            raise VMError(f"arraylength on non-array {self!r}")
+        return len(self.elements)
+
+    def references(self) -> Iterator["Handle"]:
+        """Iterate over the non-null references this object holds."""
+        if self.elements is not None:
+            for value in self.elements:
+                if isinstance(value, Handle):
+                    yield value
+        elif self.fields:
+            for value in self.fields.values():
+                if isinstance(value, Handle):
+                    yield value
+
+    def check_live(self) -> None:
+        """Soundness oracle: fail loudly on access to a collected object."""
+        if self.freed:
+            raise UseAfterCollect(
+                f"object #{self.id} ({self.cls.name}) was collected by "
+                f"{self.freed_by or 'the collector'} but is being accessed"
+            )
+
+    def __repr__(self) -> str:
+        dead = " DEAD" if self.freed else ""
+        return f"<Handle #{self.id} {self.cls.name} @{self.addr}+{self.size}{dead}>"
+
+
+class FreeList:
+    """Address-ordered free list with next-fit search and coalescing.
+
+    ``search_steps`` counts every block examined during allocation — the
+    quantity the JDK allocator pays once the heap has filled, and the one the
+    recycling optimization (section 3.7) avoids.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("heap capacity must be positive")
+        self.capacity = capacity
+        # Parallel sorted lists: block start addresses and sizes.
+        self._addrs: List[int] = [0]
+        self._sizes: List[int] = [capacity]
+        self._next_fit = 0  # index hint into the free list
+        self.search_steps = 0
+        self.allocs = 0
+        self.frees = 0
+
+    @property
+    def free_words(self) -> int:
+        return sum(self._sizes)
+
+    @property
+    def largest_block(self) -> int:
+        return max(self._sizes) if self._sizes else 0
+
+    def blocks(self) -> List[Tuple[int, int]]:
+        """Snapshot of (addr, size) free blocks, address-ordered."""
+        return list(zip(self._addrs, self._sizes))
+
+    def allocate(self, size: int) -> Optional[int]:
+        """Next-fit: scan from the last allocation point, wrapping once."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        n = len(self._addrs)
+        if n == 0:
+            return None
+        start = min(self._next_fit, n - 1)
+        for probe in range(n):
+            i = (start + probe) % n
+            self.search_steps += 1
+            if self._sizes[i] >= size:
+                addr = self._addrs[i]
+                if self._sizes[i] == size:
+                    del self._addrs[i]
+                    del self._sizes[i]
+                    self._next_fit = i
+                else:
+                    self._addrs[i] += size
+                    self._sizes[i] -= size
+                    self._next_fit = i
+                self.allocs += 1
+                return addr
+        return None
+
+    def free(self, addr: int, size: int) -> None:
+        """Return a block, coalescing with address-adjacent neighbours."""
+        if size <= 0:
+            raise ValueError("freed size must be positive")
+        i = bisect_right(self._addrs, addr)
+        # Guard against double-free / overlap, which would silently corrupt
+        # the accounting invariants the property tests check.
+        if i > 0 and self._addrs[i - 1] + self._sizes[i - 1] > addr:
+            raise VMError(f"free overlaps preceding block at {addr}")
+        if i < len(self._addrs) and addr + size > self._addrs[i]:
+            raise VMError(f"free overlaps following block at {addr}")
+        self.frees += 1
+        merged_prev = i > 0 and self._addrs[i - 1] + self._sizes[i - 1] == addr
+        merged_next = i < len(self._addrs) and addr + size == self._addrs[i]
+        if merged_prev and merged_next:
+            self._sizes[i - 1] += size + self._sizes[i]
+            del self._addrs[i]
+            del self._sizes[i]
+        elif merged_prev:
+            self._sizes[i - 1] += size
+        elif merged_next:
+            self._addrs[i] = addr
+            self._sizes[i] += size
+        else:
+            self._addrs.insert(i, addr)
+            self._sizes.insert(i, size)
+        if self._next_fit >= len(self._addrs):
+            self._next_fit = 0
+
+    def reset_scan(self) -> None:
+        """Restart the next-fit scan from the heap base (post-GC behaviour)."""
+        self._next_fit = 0
+
+
+class Heap:
+    """The object heap: handle table + object space + accounting.
+
+    ``handle_words`` selects the accounted handle width; the handle region is
+    sized so the *object* space keeps the capacity given here, mirroring the
+    thesis's rescaling of the JDK's original 20/80 split (section 3.1.1).
+    """
+
+    def __init__(self, capacity_words: int, handle_words: int = HANDLE_WORDS_JDK) -> None:
+        self.free_list = FreeList(capacity_words)
+        self.capacity = capacity_words
+        self.handle_words = handle_words
+        self._handles: Dict[int, Handle] = {}
+        self._next_id = 0
+        self.objects_created = 0
+        self.words_allocated = 0
+        self.bytes_freed = 0
+        self.live_words = 0
+        self.peak_live_words = 0
+
+    # ------------------------------------------------------------------
+    # Allocation and reclamation
+    # ------------------------------------------------------------------
+
+    def size_of(self, cls: JClass, length: Optional[int] = None) -> int:
+        if cls.is_array:
+            return OBJECT_HEADER_WORDS + WORDS_PER_ELEMENT * max(0, length or 0)
+        return OBJECT_HEADER_WORDS + cls.instance_size_words()
+
+    def allocate(
+        self,
+        cls: JClass,
+        alloc_thread: int,
+        birth_frame_id: int,
+        birth_depth: int,
+        length: Optional[int] = None,
+    ) -> Optional[Handle]:
+        """Allocate an instance of ``cls``; return None on exhaustion.
+
+        The caller (the runtime) decides what exhaustion means: consult the
+        recycle list, run the tracing collector, or raise OutOfMemoryError.
+        """
+        size = self.size_of(cls, length)
+        addr = self.free_list.allocate(size)
+        if addr is None:
+            return None
+        handle = Handle(
+            self._next_id, cls, addr, size, alloc_thread, birth_frame_id,
+            birth_depth, length=length,
+        )
+        self._next_id += 1
+        self._handles[handle.id] = handle
+        self.objects_created += 1
+        self.words_allocated += size
+        self.live_words += size
+        if self.live_words > self.peak_live_words:
+            self.peak_live_words = self.live_words
+        return handle
+
+    def free(self, handle: Handle, freed_by: str) -> None:
+        """Release ``handle``'s storage and taint it (section 3.1.4)."""
+        self.retire(handle, freed_by)
+        self.free_list.free(handle.addr, handle.size)
+
+    def retire(self, handle: Handle, freed_by: str) -> None:
+        """Taint ``handle`` as dead but keep its storage parked.
+
+        Used by the recycling optimization (section 3.7): the dead object's
+        storage stays out of the free list until either an allocation adopts
+        it or the recycle list is flushed via :meth:`release_recycled`.
+        """
+        if handle.freed:
+            raise VMError(f"double free of {handle!r} by {freed_by}")
+        handle.freed = True
+        handle.freed_by = freed_by
+        self.live_words -= handle.size
+        self.bytes_freed += handle.size
+        del self._handles[handle.id]
+        # Drop outgoing references so freed objects don't keep graphs alive
+        # on the Python side (and so accidental traversal fails fast).
+        handle.fields = None
+        handle.elements = None
+
+    def adopt_storage(self, old: Handle, cls: JClass, alloc_thread: int,
+                      birth_frame_id: int, birth_depth: int,
+                      length: Optional[int] = None) -> Handle:
+        """Reuse a recycled object's storage for a new allocation (section 3.7).
+
+        The old object must be dead but *not* yet returned to the free list:
+        recycling defers the free and hands the storage straight to the new
+        object.  Only the leading ``size`` words are reused; any surplus from
+        a larger donor is returned to the free list.
+        """
+        if not old.freed:
+            raise VMError("recycled donor must already be dead")
+        size = self.size_of(cls, length)
+        if old.size < size:
+            raise VMError("recycled donor too small")
+        if old.size > size:
+            self.free_list.free(old.addr + size, old.size - size)
+        handle = Handle(
+            self._next_id, cls, old.addr, size, alloc_thread, birth_frame_id,
+            birth_depth, length=length,
+        )
+        self._next_id += 1
+        self._handles[handle.id] = handle
+        self.objects_created += 1
+        self.words_allocated += size
+        self.live_words += size
+        if self.live_words > self.peak_live_words:
+            self.peak_live_words = self.live_words
+        return handle
+
+    def release_recycled(self, handle: Handle) -> None:
+        """Return a deferred-free (recycled) object's storage to the free list."""
+        self.free_list.free(handle.addr, handle.size)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def live_handles(self) -> List[Handle]:
+        return list(self._handles.values())
+
+    def live_count(self) -> int:
+        return len(self._handles)
+
+    def get(self, handle_id: int) -> Handle:
+        try:
+            return self._handles[handle_id]
+        except KeyError:
+            raise UseAfterCollect(f"handle #{handle_id} is not live") from None
+
+    def handle_region_words(self) -> int:
+        """Accounted size of the handle region for the live object count."""
+        return self.live_count() * self.handle_words
+
+    def compact(self) -> int:
+        """Slide all live objects to the heap base; returns objects moved.
+
+        Because every reference indirects through a handle, compaction only
+        rewrites ``addr`` fields — the paper's motivation for keeping the
+        handle indirection.  The free list collapses to one block.
+        """
+        live = sorted(self._handles.values(), key=lambda h: h.addr)
+        cursor = 0
+        moved = 0
+        for handle in live:
+            if handle.addr != cursor:
+                handle.addr = cursor
+                moved += 1
+            cursor += handle.size
+        self.free_list._addrs = [cursor] if cursor < self.capacity else []
+        self.free_list._sizes = [self.capacity - cursor] if cursor < self.capacity else []
+        self.free_list._next_fit = 0
+        return moved
+
+    def check_accounting(self, recycled_words: int = 0) -> None:
+        """Invariant 5 of DESIGN.md: live + free + recycled words == capacity."""
+        total = self.live_words + self.free_list.free_words + recycled_words
+        if total != self.capacity:
+            raise VMError(
+                f"heap accounting broken: live {self.live_words} + free "
+                f"{self.free_list.free_words} + recycled {recycled_words} "
+                f"!= capacity {self.capacity}"
+            )

@@ -1,0 +1,384 @@
+"""The bytecode interpreter.
+
+A straightforward threaded-dispatch loop in the spirit of Sun's C reference
+interpreter (the system the thesis modified).  The CG-relevant instructions
+delegate to the runtime services, which raise the collector events; the
+interpreter itself only moves values between locals, operand stacks, and the
+heap.
+
+Threading: :meth:`Interpreter.run_program` drives the deterministic
+round-robin scheduler — each runnable thread executes up to a quantum of
+instructions before rotating, so cross-thread sharing (section 3.3) is both
+exercised and reproducible.  Native methods run inline in the invoking
+thread; when native code calls back into Java (``NativeEnv.call``), the
+callee runs synchronously on the same thread via :meth:`call_sync`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from . import bytecode as bc
+from .errors import NullPointerError, VerifyError, VMError
+from .heap import Handle
+from .model import JMethod, Program
+from .natives import NativeEnv
+from .threads import JThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Runtime
+
+#: Sentinel for "this method returned no value".
+VOID = object()
+
+
+class Interpreter:
+    """Executes bytecode methods on a runtime's threads."""
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self.runtime = runtime
+        self.instructions_executed = 0
+        #: Per-thread stack of frame depths acting as sync-call boundaries:
+        #: a return at a marked depth delivers its value to ``_sync_results``
+        #: instead of the caller's operand stack (native callbacks).
+        self._sync_marks: Dict[int, List[int]] = {}
+        self._sync_results: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run_program(self, qualified: str, args: List[object]) -> object:
+        """Run ``qualified`` on the main thread; interleave spawned threads."""
+        runtime = self.runtime
+        self._push_call(runtime.main_thread, qualified, args)
+        scheduler = runtime.scheduler
+        quantum = runtime.config.quantum
+        while True:
+            thread = scheduler.next_thread()
+            if thread is None:
+                break
+            self.step_n(thread, quantum)
+        return runtime.main_thread.result
+
+    def call_sync(self, thread: JThread, qualified: str,
+                  args: List[object]) -> object:
+        """Run one call to completion on ``thread`` (no interleaving)."""
+        frame = self._push_call(thread, qualified, args)
+        if frame is None:
+            # Native fast path: _push_call already ran it.
+            return self._sync_results.pop(thread.thread_id, None)
+        marks = self._sync_marks.setdefault(thread.thread_id, [])
+        marks.append(frame.depth)
+        base = frame.depth
+        while thread.stack.depth > base:
+            self.step_n(thread, 4096, stop_depth=base)
+        return self._sync_results.pop(thread.thread_id, None)
+
+    # ------------------------------------------------------------------
+    # Invocation plumbing
+    # ------------------------------------------------------------------
+
+    def _push_call(self, thread: JThread, qualified: str,
+                   args: List[object]):
+        method = self.runtime.program.resolve(qualified)
+        if len(args) != method.nargs:
+            raise VerifyError(
+                f"{qualified} expects {method.nargs} args, got {len(args)}"
+            )
+        if method.native is not None:
+            result = self._run_native(thread, method, list(args))
+            self._sync_results[thread.thread_id] = (
+                None if result is VOID else result
+            )
+            return None
+        return self._push_frame(thread, method, list(args))
+
+    def _push_frame(self, thread: JThread, method: JMethod, args: List[object]):
+        frame = self.runtime.push_frame(thread, method, nlocals=method.nlocals)
+        for i, value in enumerate(args):
+            frame.locals[i] = value
+        return frame
+
+    def _run_native(self, thread: JThread, method: JMethod,
+                    args: List[object]) -> object:
+        env = NativeEnv(self.runtime, thread)
+        result = method.native(env, args)
+        if isinstance(result, Handle):
+            # A reference crossing the native boundary cannot be tied to a
+            # frame the collector can see (section 3.3).
+            if self.runtime.collector is not None:
+                self.runtime.collector.on_native_escape(result)
+        return result
+
+    def _return(self, thread: JThread, value: object) -> None:
+        frame = self.runtime.pop_frame(thread)
+        marks = self._sync_marks.get(thread.thread_id)
+        if marks and marks[-1] == frame.depth:
+            marks.pop()
+            self._sync_results[thread.thread_id] = (
+                None if value is VOID else value
+            )
+            return
+        if thread.stack.frames:
+            if value is not VOID:
+                thread.stack.frames[-1].stack.append(value)
+        else:
+            thread.result = None if value is VOID else value
+
+    # ------------------------------------------------------------------
+    # The dispatch loop
+    # ------------------------------------------------------------------
+
+    def step_n(self, thread: JThread, budget: int, stop_depth: int = 0) -> int:
+        """Execute up to ``budget`` instructions on ``thread``.
+
+        Returns the number of instructions actually executed (less than the
+        budget when the thread's stack drains down to ``stop_depth`` — used
+        by :meth:`call_sync` so a native callback doesn't run past its own
+        caller's frame).
+        """
+        runtime = self.runtime
+        executed = 0
+        frames = thread.stack.frames
+        while executed < budget and len(frames) > stop_depth:
+            frame = frames[-1]
+            method = frame.method
+            code = method.code
+            if frame.pc >= len(code):
+                # Fell off the end: implicit return void.
+                self._return(thread, VOID)
+                executed += 1
+                continue
+            op, a, b = code[frame.pc]
+            frame.pc += 1
+            executed += 1
+            runtime.tick()
+            stack = frame.stack
+            tid = thread.thread_id
+
+            if op == bc.CONST:
+                stack.append(a)
+            elif op == bc.LOAD:
+                stack.append(frame.locals[a])
+            elif op == bc.STORE:
+                frame.locals[a] = stack.pop()
+            elif op == bc.ACONST_NULL:
+                stack.append(None)
+            elif op == bc.GETFIELD:
+                obj = stack.pop()
+                if obj is None:
+                    raise NullPointerError(f"getfield {a} on null")
+                stack.append(runtime.load_field(obj, a, thread))
+            elif op == bc.PUTFIELD:
+                value = stack.pop()
+                obj = stack.pop()
+                if obj is None:
+                    raise NullPointerError(f"putfield {a} on null")
+                runtime.store_field(obj, a, value, thread)
+            elif op == bc.NEW:
+                stack.append(runtime.allocate(a, thread))
+            elif op == bc.NEWARRAY:
+                length = stack.pop()
+                stack.append(
+                    runtime.allocate(Program.ARRAY, thread, length=length)
+                )
+            elif op == bc.AALOAD:
+                index = stack.pop()
+                array = stack.pop()
+                if array is None:
+                    raise NullPointerError("aaload on null array")
+                stack.append(runtime.load_element(array, index, thread))
+            elif op == bc.AASTORE:
+                value = stack.pop()
+                index = stack.pop()
+                array = stack.pop()
+                if array is None:
+                    raise NullPointerError("aastore on null array")
+                runtime.store_element(array, index, value, thread)
+            elif op == bc.ARRAYLENGTH:
+                array = stack.pop()
+                if array is None:
+                    raise NullPointerError("arraylength on null")
+                runtime.access(array, thread)
+                stack.append(array.length)
+            elif op == bc.GETSTATIC:
+                cls_name, field = a.rsplit(".", 1)
+                cls = runtime.program.lookup(cls_name)
+                stack.append(runtime.load_static(field, cls))
+            elif op == bc.PUTSTATIC:
+                cls_name, field = a.rsplit(".", 1)
+                cls = runtime.program.lookup(cls_name)
+                runtime.store_static(field, stack.pop(), cls)
+            elif op == bc.INVOKESTATIC:
+                method_callee = runtime.program.resolve(a)
+                self._invoke(thread, frame, method_callee)
+            elif op == bc.INVOKEVIRTUAL:
+                nargs = b
+                if nargs < 1:
+                    raise VerifyError("invokevirtual needs a receiver")
+                receiver = frame.stack[-nargs]
+                if receiver is None:
+                    raise NullPointerError(f"invokevirtual {a} on null")
+                runtime.access(receiver, thread)
+                method_callee = receiver.cls.resolve_method(a)
+                if method_callee.nargs != nargs:
+                    raise VerifyError(
+                        f"{method_callee.qualified_name} takes "
+                        f"{method_callee.nargs} args, call site passes {nargs}"
+                    )
+                self._invoke(thread, frame, method_callee)
+            elif op == bc.RETVAL:
+                value = stack.pop()
+                if isinstance(value, Handle):
+                    runtime.return_reference(value, thread)
+                self._return(thread, value)
+            elif op == bc.RETURN:
+                self._return(thread, VOID)
+            elif op == bc.SPAWN:
+                nargs = b if b is not None else 1
+                args = [stack.pop() for _ in range(nargs)][::-1]
+                receiver = args[0]
+                if receiver is None:
+                    raise NullPointerError(f"spawn {a} on null receiver")
+                method_callee = receiver.cls.resolve_method(a)
+                if method_callee.nargs != nargs:
+                    raise VerifyError(
+                        f"spawn: {method_callee.qualified_name} takes "
+                        f"{method_callee.nargs} args, got {nargs}"
+                    )
+                # Thread.start() crosses the native boundary in the JDK, and
+                # the spawning frame may pop before the new thread ever
+                # touches its arguments — so every reference handed to the
+                # new thread is pinned as thread-shared immediately
+                # (section 3.3's conservative treatment).
+                if runtime.collector is not None:
+                    from ..core.stats import CAUSE_SHARED
+
+                    for arg in args:
+                        if isinstance(arg, Handle):
+                            runtime.collector.pin_static(arg, CAUSE_SHARED)
+                new_thread = runtime.new_thread()
+                self._push_frame(new_thread, method_callee, args)
+            elif op == bc.LDC_STR:
+                stack.append(runtime.new_string(a, thread))
+            elif op == bc.INTERN:
+                string = stack.pop()
+                if string is None:
+                    raise NullPointerError("intern on null")
+                runtime.access(string, thread)
+                stack.append(runtime.intern(string))
+            elif op == bc.INSTANCEOF:
+                obj = stack.pop()
+                stack.append(self._instanceof(obj, a))
+            elif op == bc.DUP:
+                stack.append(stack[-1])
+            elif op == bc.POP:
+                stack.pop()
+            elif op == bc.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif op == bc.ADD:
+                y = stack.pop()
+                stack[-1] = stack[-1] + y
+            elif op == bc.SUB:
+                y = stack.pop()
+                stack[-1] = stack[-1] - y
+            elif op == bc.MUL:
+                y = stack.pop()
+                stack[-1] = stack[-1] * y
+            elif op == bc.DIV:
+                y = stack.pop()
+                x = stack.pop()
+                if isinstance(x, int) and isinstance(y, int):
+                    stack.append(int(x / y) if y != 0 else self._div_zero())
+                else:
+                    stack.append(x / y)
+            elif op == bc.MOD:
+                y = stack.pop()
+                x = stack.pop()
+                stack.append(x - int(x / y) * y if y != 0 else self._div_zero())
+            elif op == bc.NEG:
+                stack[-1] = -stack[-1]
+            elif op == bc.IINC:
+                frame.locals[a] += b
+            elif op == bc.GOTO:
+                frame.pc = a
+            elif op == bc.IFZERO:
+                if stack.pop() == 0:
+                    frame.pc = a
+            elif op == bc.IFNZERO:
+                if stack.pop() != 0:
+                    frame.pc = a
+            elif op == bc.IFNULL:
+                if stack.pop() is None:
+                    frame.pc = a
+            elif op == bc.IFNONNULL:
+                if stack.pop() is not None:
+                    frame.pc = a
+            elif op == bc.IF_ICMPEQ:
+                y = stack.pop()
+                if stack.pop() == y:
+                    frame.pc = a
+            elif op == bc.IF_ICMPNE:
+                y = stack.pop()
+                if stack.pop() != y:
+                    frame.pc = a
+            elif op == bc.IF_ICMPLT:
+                y = stack.pop()
+                if stack.pop() < y:
+                    frame.pc = a
+            elif op == bc.IF_ICMPLE:
+                y = stack.pop()
+                if stack.pop() <= y:
+                    frame.pc = a
+            elif op == bc.IF_ICMPGT:
+                y = stack.pop()
+                if stack.pop() > y:
+                    frame.pc = a
+            elif op == bc.IF_ICMPGE:
+                y = stack.pop()
+                if stack.pop() >= y:
+                    frame.pc = a
+            elif op == bc.IF_ACMPEQ:
+                y = stack.pop()
+                if stack.pop() is y:
+                    frame.pc = a
+            elif op == bc.IF_ACMPNE:
+                y = stack.pop()
+                if stack.pop() is not y:
+                    frame.pc = a
+            else:  # pragma: no cover - assembler can't emit unknown ops
+                raise VerifyError(f"unknown opcode {op}")
+        self.instructions_executed += executed
+        return executed
+
+    # ------------------------------------------------------------------
+
+    def _invoke(self, thread: JThread, frame, method: JMethod) -> None:
+        nargs = method.nargs
+        args = frame.stack[len(frame.stack) - nargs:] if nargs else []
+        del frame.stack[len(frame.stack) - nargs:]
+        if method.native is not None:
+            # Convention: natives return VOID for "no value"; anything else
+            # (including None, a legitimate null) is pushed for the caller.
+            result = self._run_native(thread, method, args)
+            if result is not VOID:
+                frame.stack.append(result)
+            return
+        self._push_frame(thread, method, args)
+
+    @staticmethod
+    def _div_zero():
+        raise VMError("integer division by zero")
+
+    def _instanceof(self, obj, cls_name: str) -> int:
+        if obj is None:
+            return 0
+        if not isinstance(obj, Handle):
+            return 0
+        cls = obj.cls
+        while cls is not None:
+            if cls.name == cls_name:
+                return 1
+            cls = cls.superclass
+        return 0

@@ -1,0 +1,218 @@
+"""Direct-drive mutator API.
+
+The SPEC-shaped workloads allocate tens of thousands of objects; driving
+them through the bytecode interpreter would spend almost all the wall clock
+in instruction dispatch.  :class:`Mutator` issues the *same runtime events*
+(allocation, putfield/aastore contamination, putstatic pinning, areturn
+promotion, frame pops, thread-sharing accesses, periodic-GC ticks) without
+the dispatch — the GC code path is identical, only the program counter is
+Python.
+
+Root discipline mirrors the JVM's operand stack: a freshly allocated (or
+explicitly ``keep``-ed) reference is pushed onto the current frame's operand
+stack, making it visible to the tracing collector's root scan, and is
+consumed from there the first time it is stored into the heap, returned, or
+bound to a local.  Workloads that hold a reference across further operations
+after consuming it must keep it reachable (a local slot or a heap path),
+exactly like real bytecode.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Union
+
+from .errors import IllegalStateError
+from .frames import Frame
+from .heap import Handle
+from .model import JClass, Program
+from .runtime import Runtime
+from .threads import JThread
+
+
+class Mutator:
+    """A thread-bound front end over :class:`~repro.jvm.runtime.Runtime`."""
+
+    def __init__(self, runtime: Runtime, thread: Optional[JThread] = None) -> None:
+        self.runtime = runtime
+        self.thread = thread or runtime.main_thread
+
+    # ------------------------------------------------------------------
+    # Frames
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def frame(self, name: str = "direct", nlocals: int = 0) -> Iterator[Frame]:
+        """Enter a method activation; popping it fires the CG collection."""
+        frame = self.runtime.push_frame(self.thread, None, nlocals=nlocals)
+        try:
+            yield frame
+        finally:
+            self.runtime.pop_frame(self.thread)
+
+    @property
+    def current_frame(self) -> Frame:
+        return self.thread.stack.current
+
+    @property
+    def depth(self) -> int:
+        return self.thread.stack.depth
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def new(self, cls: Union[str, JClass], length: Optional[int] = None) -> Handle:
+        """Allocate; the result is temp-rooted on the operand stack."""
+        self.tick()
+        handle = self.runtime.allocate(cls, self.thread, length=length)
+        self.current_frame.stack.append(handle)
+        return handle
+
+    def new_array(self, length: int) -> Handle:
+        return self.new(Program.ARRAY, length=length)
+
+    def new_string(self, contents: str) -> Handle:
+        self.tick()
+        handle = self.runtime.new_string(contents, self.thread)
+        self.current_frame.stack.append(handle)
+        return handle
+
+    def intern(self, handle: Handle) -> Handle:
+        self.tick()
+        result = self.runtime.intern(handle)
+        self._consume(handle)
+        return result
+
+    # ------------------------------------------------------------------
+    # Heap access
+    # ------------------------------------------------------------------
+
+    def putfield(self, obj: Handle, name: str, value: object) -> None:
+        self.tick()
+        self.runtime.store_field(obj, name, value, self.thread)
+        if isinstance(value, Handle):
+            self._consume(value)
+
+    def getfield(self, obj: Handle, name: str, keep: bool = False) -> object:
+        """Read a field; ``keep=True`` temp-roots a reference result (use it
+        when the caller will unlink the value from its container before the
+        next potential GC point)."""
+        self.tick()
+        value = self.runtime.load_field(obj, name, self.thread)
+        if keep and isinstance(value, Handle):
+            self.current_frame.stack.append(value)
+        return value
+
+    def aastore(self, array: Handle, index: int, value: object) -> None:
+        self.tick()
+        self.runtime.store_element(array, index, value, self.thread)
+        if isinstance(value, Handle):
+            self._consume(value)
+
+    def aaload(self, array: Handle, index: int, keep: bool = False) -> object:
+        self.tick()
+        value = self.runtime.load_element(array, index, self.thread)
+        if keep and isinstance(value, Handle):
+            self.current_frame.stack.append(value)
+        return value
+
+    def putstatic(self, key: str, value: object) -> None:
+        self.tick()
+        self.runtime.store_static(key, value)
+        if isinstance(value, Handle):
+            self._consume(value)
+
+    def getstatic(self, key: str) -> object:
+        self.tick()
+        return self.runtime.load_static(key)
+
+    def touch(self, handle: Handle) -> None:
+        """A bare read access (drives the thread-sharing detector)."""
+        self.tick()
+        self.runtime.access(handle, self.thread)
+
+    # ------------------------------------------------------------------
+    # Locals and returns
+    # ------------------------------------------------------------------
+
+    def set_local(self, index: int, value: object) -> None:
+        """Bind a local slot (a durable root for the tracing collector)."""
+        self.tick()
+        frame = self.current_frame
+        old = frame.locals[index] if index < len(frame.locals) else None
+        frame.set_local(index, value)
+        if isinstance(value, Handle):
+            self._consume(value)
+        return old
+
+    def get_local(self, index: int) -> object:
+        frame = self.current_frame
+        return frame.locals[index] if index < len(frame.locals) else None
+
+    def root(self, value: Handle) -> int:
+        """Append ``value`` as a new durable local; returns the slot index."""
+        self.tick()
+        index = self.current_frame.add_root(value)
+        self._consume(value)
+        return index
+
+    def areturn(self, value: Handle) -> Handle:
+        """Return ``value`` from the current frame (fires the CG event).
+
+        Must be called while the returning frame is still current — i.e.
+        just before leaving the ``with mutator.frame()`` block.  The value
+        is re-rooted on the caller's operand stack, like a real ``areturn``.
+        """
+        if self.depth < 1:
+            raise IllegalStateError("areturn with no active frame")
+        self.tick()
+        value.check_live()
+        self.runtime.return_reference(value, self.thread)
+        self._consume(value)
+        caller = self.thread.stack.caller
+        if caller is not None:
+            caller.stack.append(value)
+        return value
+
+    def consume_from_caller(self, value: Handle) -> None:
+        """Pop a just-returned value off the current frame's operand stack."""
+        self._consume(value)
+
+    def drop(self, value: Handle) -> None:
+        """Discard a temp-rooted reference without storing it anywhere."""
+        self.tick()
+        self._consume(value)
+
+    def native_escape(self, handle: Handle) -> None:
+        """Hand ``handle`` to (simulated) native code: JNI-pins it and, with
+        CG enabled, pins its equilive block to frame 0 (section 3.3)."""
+        self.tick()
+        if self.runtime.collector is not None:
+            self.runtime.collector.on_native_escape(handle)
+        self.runtime.natives.pin(handle)
+        self._consume(handle)
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def spawn(self, name: Optional[str] = None) -> "Mutator":
+        """Create a new thread and return a mutator bound to it."""
+        return Mutator(self.runtime, self.runtime.new_thread(name))
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def tick(self, n: int = 1) -> None:
+        """Charge mutator work (and give the periodic collector its chance)."""
+        self.runtime.tick(n)
+
+    def _consume(self, value: Handle) -> None:
+        """Remove one occurrence of ``value`` from the operand stack, if any."""
+        stack = self.current_frame.stack
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is value:
+                del stack[i]
+                return

@@ -1,0 +1,88 @@
+"""Native-method support (thesis section 3.3).
+
+Sun's JVM lets native (C) code call Java and vice versa; objects created by
+Java calls made from native code can outlive any frame the collector can
+see, so the thesis "catch[es] such allocations and treat[s] the equilive
+blocks as if they were static".  Here native methods are Python callables
+receiving a :class:`NativeEnv`:
+
+* any :class:`Handle` a native method *returns* to its Java caller is pinned
+  (the interpreter does this);
+* any Handle result a native obtains by calling *back into Java* through
+  ``env.call`` is pinned at the boundary;
+* ``env.pin`` models explicit object pinning (JNI global references).
+
+Pinned handles are tracing-collector roots until released.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from .errors import LinkageError
+from .heap import Handle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Runtime
+    from .threads import JThread
+
+NativeFn = Callable[["NativeEnv", List[object]], object]
+
+
+class NativeEnv:
+    """The environment handed to a native method body."""
+
+    def __init__(self, runtime: "Runtime", thread: "JThread") -> None:
+        self.runtime = runtime
+        self.thread = thread
+
+    def call(self, qualified: str, args: List[object]) -> object:
+        """Call back into Java; reference results are pinned at the boundary."""
+        result = self.runtime.invoke(qualified, args, thread=self.thread)
+        if isinstance(result, Handle) and self.runtime.collector is not None:
+            self.runtime.collector.on_native_escape(result)
+            self.runtime.natives.pin(result)
+        return result
+
+    def pin(self, handle: Handle) -> None:
+        """Take a global reference (JNI-style); also pins the CG block."""
+        if self.runtime.collector is not None:
+            self.runtime.collector.on_native_escape(handle)
+        self.runtime.natives.pin(handle)
+
+    def unpin(self, handle: Handle) -> None:
+        self.runtime.natives.unpin(handle)
+
+    def new_string(self, contents: str) -> Handle:
+        return self.runtime.new_string(contents, thread=self.thread)
+
+
+class NativeRegistry:
+    """Registered native method bodies plus the set of pinned handles."""
+
+    def __init__(self) -> None:
+        self._methods: Dict[str, NativeFn] = {}
+        self._pinned: Dict[int, Handle] = {}
+
+    def register(self, qualified: str, fn: NativeFn) -> None:
+        self._methods[qualified] = fn
+
+    def lookup(self, qualified: str) -> NativeFn:
+        try:
+            return self._methods[qualified]
+        except KeyError:
+            raise LinkageError(f"no native implementation for {qualified!r}") from None
+
+    def has(self, qualified: str) -> bool:
+        return qualified in self._methods
+
+    def pin(self, handle: Handle) -> None:
+        self._pinned[handle.id] = handle
+
+    def unpin(self, handle: Handle) -> None:
+        self._pinned.pop(handle.id, None)
+
+    def roots(self) -> Iterator[Handle]:
+        for handle in self._pinned.values():
+            if not handle.freed:
+                yield handle

@@ -1,0 +1,402 @@
+"""The runtime: heap + CG collector + tracing collector + threads.
+
+:class:`Runtime` is the single integration point.  Both mutator front ends —
+the bytecode :mod:`~repro.jvm.interpreter` and the direct-drive
+:class:`~repro.jvm.mutator.Mutator` — funnel every heap effect through the
+services here, so the CG collector, the tracing collector's write barriers,
+the thread-sharing detector, and the periodic-GC trigger observe an
+identical event stream regardless of how the program is expressed.
+
+Allocation follows the thesis's order (section 3.7): try the free list;
+on failure consult the CG recycle list (first-fit over dead objects);
+then flush parked recycle storage and retry; then run the traditional
+collector and retry; only then raise OutOfMemoryError.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..core.policy import CGPolicy
+from .errors import IllegalStateError, OutOfMemoryError, VMError
+from .frames import Frame, FrameIdSource, StaticFrame
+from .heap import Handle, Heap
+from .model import JClass, JMethod, Program
+from .natives import NativeRegistry
+from .strings import InternTable
+from .threads import JThread, Scheduler
+
+if False:  # pragma: no cover - typing-only (imported lazily to break a cycle)
+    from ..core.collector import ContaminatedCollector
+
+TRACING_CHOICES = ("marksweep", "none", "generational", "train")
+
+
+@dataclass
+class RuntimeConfig:
+    """Everything configurable about a run (one figure = one config sweep)."""
+
+    heap_words: int = 1 << 20
+    cg: CGPolicy = field(default_factory=CGPolicy)
+    tracing: str = "marksweep"
+    compaction: bool = False
+    #: Run the tracing collector every N mutator operations (Fig. 4.11 uses
+    #: the thesis's "every 100,000 JVM instructions" protocol).  None = only
+    #: on allocation failure.
+    gc_period_ops: Optional[int] = None
+    #: Scheduler quantum, in instructions.
+    quantum: int = 100
+
+    def __post_init__(self) -> None:
+        if self.tracing not in TRACING_CHOICES:
+            raise ValueError(
+                f"tracing must be one of {TRACING_CHOICES}, got {self.tracing!r}"
+            )
+        if self.heap_words <= 0:
+            raise ValueError("heap_words must be positive")
+
+
+class Runtime:
+    """A VM instance: owns the heap, threads, collectors, and statics."""
+
+    def __init__(self, config: Optional[RuntimeConfig] = None,
+                 program: Optional[Program] = None) -> None:
+        self.config = config or RuntimeConfig()
+        self.program = program or Program()
+        handle_words = (
+            self.config.cg.handle_words if self.config.cg.enabled else 2
+        )
+        self.heap = Heap(self.config.heap_words, handle_words=handle_words)
+        self.static_frame = StaticFrame()
+        self.frame_ids = FrameIdSource()
+        self.scheduler = Scheduler(self.config.quantum)
+        self.intern_table = InternTable()
+        self.natives = NativeRegistry()
+        #: Direct-mode statics (the bytecode mode uses class statics).
+        self.globals: Dict[str, object] = {}
+
+        # Imported here, not at module scope: collector -> jvm -> runtime
+        # would otherwise be a circular import.
+        from ..core.collector import ContaminatedCollector
+
+        self.collector: Optional["ContaminatedCollector"] = None
+        if self.config.cg.enabled:
+            self.collector = ContaminatedCollector(
+                self.heap, self.static_frame, self.config.cg
+            )
+            if self.config.cg.paranoid:
+                self.collector.reachability_probe = self._assert_unreachable
+
+        self.tracing = self._make_tracing(self.config.tracing)
+
+        self.ops = 0
+        self._last_periodic_gc = 0
+        self._next_thread_id = 0
+        self.main_thread = self.new_thread("main")
+        self._interpreter = None  # created lazily to avoid an import cycle
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _make_tracing(self, kind: str):
+        if kind == "none":
+            from ..gc.nullgc import NullCollector
+
+            return NullCollector(self)
+        if kind == "marksweep":
+            from ..gc.marksweep import MarkSweepCollector
+
+            return MarkSweepCollector(self, compaction=self.config.compaction)
+        if kind == "generational":
+            from ..gc.generational import GenerationalCollector
+
+            return GenerationalCollector(self)
+        if kind == "train":
+            from ..gc.train import TrainCollector
+
+            return TrainCollector(self)
+        raise ValueError(f"unknown tracing collector {kind!r}")
+
+    @property
+    def interpreter(self):
+        if self._interpreter is None:
+            from .interpreter import Interpreter
+
+            self._interpreter = Interpreter(self)
+        return self._interpreter
+
+    def new_thread(self, name: Optional[str] = None) -> JThread:
+        thread = JThread(
+            self._next_thread_id, name or f"thread-{self._next_thread_id}",
+            self.frame_ids,
+        )
+        self._next_thread_id += 1
+        self.scheduler.register(thread)
+        return thread
+
+    def threads(self) -> List[JThread]:
+        return self.scheduler.threads
+
+    # ------------------------------------------------------------------
+    # Frames
+    # ------------------------------------------------------------------
+
+    def push_frame(self, thread: JThread, method: Optional[JMethod] = None,
+                   nlocals: int = 0) -> Frame:
+        thread.started = True
+        return thread.stack.push(method, nlocals)
+
+    def pop_frame(self, thread: JThread) -> Frame:
+        """Pop the active frame; the CG collector reclaims its blocks."""
+        frame = thread.stack.pop()
+        if self.collector is not None:
+            self.collector.on_frame_pop(frame)
+        return frame
+
+    def current_frame(self, thread: JThread) -> Frame:
+        return thread.stack.current
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self, cls: Union[str, JClass], thread: JThread,
+                 length: Optional[int] = None) -> Handle:
+        """Allocate an instance; runs recycling/GC per the thesis's order."""
+        if isinstance(cls, str):
+            cls = self.program.lookup(cls)
+        if cls.is_array and length is None:
+            raise VMError("array allocation requires a length")
+        frame = thread.stack.frames[-1] if thread.stack.frames else self.static_frame
+        birth_frame_id = frame.frame_id
+        birth_depth = frame.depth
+        handle = self.heap.allocate(
+            cls, thread.thread_id, birth_frame_id, birth_depth, length=length
+        )
+        if handle is None and self.collector is not None:
+            # Section 3.7: look for a recyclable dead object before GC.
+            donor = self.collector.take_recycled(
+                self.heap.size_of(cls, length), cls=cls
+            )
+            if donor is not None:
+                handle = self.heap.adopt_storage(
+                    donor, cls, thread.thread_id, birth_frame_id, birth_depth,
+                    length=length,
+                )
+            elif self.collector.policy.recycling and len(self.collector.recycle):
+                self.collector.recycle.flush()
+                handle = self.heap.allocate(
+                    cls, thread.thread_id, birth_frame_id, birth_depth,
+                    length=length,
+                )
+        if handle is None:
+            self.tracing.collect()
+            handle = self.heap.allocate(
+                cls, thread.thread_id, birth_frame_id, birth_depth, length=length
+            )
+        if handle is None:
+            raise OutOfMemoryError(
+                f"cannot allocate {self.heap.size_of(cls, length)} words of "
+                f"{cls.name} (heap {self.heap.capacity} words, "
+                f"{self.heap.free_list.free_words} free but fragmented)"
+            )
+        if self.collector is not None:
+            self.collector.on_alloc(handle, frame)
+        note = getattr(self.tracing, "note_allocation", None)
+        if note is not None:
+            note(handle)
+        return handle
+
+    def new_string(self, contents: str, thread: Optional[JThread] = None) -> Handle:
+        handle = self.allocate(
+            self.program.lookup(Program.STRING), thread or self.main_thread
+        )
+        handle.pyvalue = contents
+        handle.fields["value"] = None  # contents live in pyvalue
+        return handle
+
+    def intern(self, handle: Handle) -> Handle:
+        return self.intern_table.intern(handle, self)
+
+    # ------------------------------------------------------------------
+    # Heap mutation services (shared by interpreter and direct mutators)
+    # ------------------------------------------------------------------
+
+    def access(self, handle: Handle, thread: JThread) -> None:
+        """Pre-access check: liveness oracle + thread-sharing detection."""
+        if self.collector is not None:
+            self.collector.on_access(handle, thread.thread_id)
+        else:
+            handle.check_live()
+
+    def store_field(self, container: Handle, name: str, value: object,
+                    thread: JThread) -> None:
+        self.access(container, thread)
+        if container.fields is None or name not in container.fields:
+            raise VMError(f"no field {name!r} on {container.cls.name}")
+        container.fields[name] = value
+        if isinstance(value, Handle):
+            self.access(value, thread)
+            if self.collector is not None:
+                self.collector.on_store(container, value)
+            self._write_barrier(container, value)
+        elif self.collector is not None:
+            self.collector.stats.store_events += 1
+
+    def load_field(self, container: Handle, name: str, thread: JThread) -> object:
+        self.access(container, thread)
+        if container.fields is None or name not in container.fields:
+            raise VMError(f"no field {name!r} on {container.cls.name}")
+        return container.fields[name]
+
+    def store_element(self, array: Handle, index: int, value: object,
+                      thread: JThread) -> None:
+        """``aastore``: arrays contaminate like any other object (section 3.1.1)."""
+        self.access(array, thread)
+        elements = array.elements
+        if elements is None:
+            raise VMError(f"aastore into non-array {array.cls.name}")
+        if not 0 <= index < len(elements):
+            from .errors import ArrayIndexError
+
+            raise ArrayIndexError(f"index {index} out of [0, {len(elements)})")
+        elements[index] = value
+        if isinstance(value, Handle):
+            self.access(value, thread)
+            if self.collector is not None:
+                self.collector.on_store(array, value)
+            self._write_barrier(array, value)
+        elif self.collector is not None:
+            self.collector.stats.store_events += 1
+
+    def load_element(self, array: Handle, index: int, thread: JThread) -> object:
+        self.access(array, thread)
+        elements = array.elements
+        if elements is None:
+            raise VMError(f"aaload from non-array {array.cls.name}")
+        if not 0 <= index < len(elements):
+            from .errors import ArrayIndexError
+
+            raise ArrayIndexError(f"index {index} out of [0, {len(elements)})")
+        return elements[index]
+
+    def store_static(self, key: str, value: object,
+                     cls: Optional[JClass] = None) -> None:
+        """``putstatic``: pin referenced objects to frame 0."""
+        table = cls.statics if cls is not None else self.globals
+        table[key] = value
+        if self.collector is not None:
+            if isinstance(value, Handle):
+                self.collector.on_putstatic(value)
+            else:
+                self.collector.stats.putstatic_events += 1
+
+    def load_static(self, key: str, cls: Optional[JClass] = None) -> object:
+        table = cls.statics if cls is not None else self.globals
+        return table.get(key)
+
+    def return_reference(self, value: Handle, thread: JThread) -> None:
+        """``areturn``: promote the block to the caller's frame."""
+        if self.collector is not None:
+            caller = thread.stack.caller
+            self.collector.on_areturn(value, caller)
+
+    def _write_barrier(self, container: Handle, value: Handle) -> None:
+        barrier = getattr(self.tracing, "write_barrier", None)
+        if barrier is not None:
+            barrier(container, value)
+
+    # ------------------------------------------------------------------
+    # Periodic GC trigger (Fig. 4.11 protocol)
+    # ------------------------------------------------------------------
+
+    def tick(self, n: int = 1) -> None:
+        """Charge ``n`` mutator operations; runs the periodic collector.
+
+        Front ends call this at instruction/operation boundaries only —
+        i.e. while every live reference is still rooted (operand stacks,
+        locals, temp roots) — so a collection triggered here is safe.
+        """
+        self.ops += n
+        period = self.config.gc_period_ops
+        if period is not None and self.ops - self._last_periodic_gc >= period:
+            self._last_periodic_gc = self.ops
+            self.tracing.collect()
+
+    # ------------------------------------------------------------------
+    # Roots
+    # ------------------------------------------------------------------
+
+    def iter_static_roots(self) -> Iterator[Handle]:
+        for value in self.globals.values():
+            if isinstance(value, Handle) and not value.freed:
+                yield value
+        for cls in self.program.classes.values():
+            for value in cls.statics.values():
+                if isinstance(value, Handle) and not value.freed:
+                    yield value
+        yield from self.intern_table.roots()
+        yield from self.natives.roots()
+
+    def iter_roots(self) -> Iterator[Handle]:
+        yield from self.iter_static_roots()
+        for thread in self.scheduler.threads:
+            for frame in thread.stack:
+                yield from frame.root_references()
+
+    def all_frames(self) -> List[Frame]:
+        frames: List[Frame] = [self.static_frame]
+        for thread in self.scheduler.threads:
+            frames.extend(thread.stack.frames)
+        return frames
+
+    # ------------------------------------------------------------------
+    # Execution entry points (bytecode mode)
+    # ------------------------------------------------------------------
+
+    def run(self, qualified: str, args: Optional[List[object]] = None) -> object:
+        """Run ``Class.method`` on the main thread to completion.
+
+        Spawned threads are interleaved round-robin; the call returns the
+        main method's result once every thread has finished.
+        """
+        return self.interpreter.run_program(qualified, args or [])
+
+    def invoke(self, qualified: str, args: List[object],
+               thread: Optional[JThread] = None) -> object:
+        """Synchronously invoke a method on ``thread`` (native callbacks)."""
+        return self.interpreter.call_sync(
+            thread or self.main_thread, qualified, args
+        )
+
+    # ------------------------------------------------------------------
+    # Verification helpers
+    # ------------------------------------------------------------------
+
+    def _assert_unreachable(self, doomed: List[Handle]) -> None:
+        """Paranoid-mode oracle: objects CG frees must be unreachable."""
+        doomed_ids = {h.id for h in doomed}
+        seen = set()
+        stack = [h for h in self.iter_roots()]
+        while stack:
+            handle = stack.pop()
+            if handle.id in seen or handle.freed:
+                continue
+            seen.add(handle.id)
+            if handle.id in doomed_ids:
+                raise IllegalStateError(
+                    f"CG is about to free reachable object {handle!r}"
+                )
+            stack.extend(handle.references())
+
+    def check_heap_accounting(self) -> None:
+        recycled = 0
+        if self.collector is not None:
+            recycled = self.collector.recycle.parked_words
+        self.heap.check_accounting(recycled)
+
+    def check_cg_invariants(self) -> None:
+        if self.collector is not None:
+            self.collector.equilive.check_invariants(self.all_frames())

@@ -1,0 +1,24 @@
+"""SPECjvm98-shaped workloads (see base.py for the modelling rationale)."""
+
+from . import compress, db, jack, javac, jess, mpegaudio, raytrace  # noqa: F401
+from .base import (
+    REGISTRY,
+    SIZE_NAMES,
+    SIZES,
+    Workload,
+    all_workloads,
+    get_workload,
+    register,
+    scaled,
+)
+
+__all__ = [
+    "REGISTRY",
+    "SIZES",
+    "SIZE_NAMES",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "register",
+    "scaled",
+]

@@ -1,0 +1,113 @@
+"""Workload framework: SPECjvm98-shaped mutators.
+
+The paper evaluates on the (proprietary) SPECjvm98 suite at its three size
+settings (1, 10, 100).  Each workload here is a synthetic mutator whose
+*reference-flow shape* — how many objects are allocated, which fraction
+escapes to statics, how references chain objects into equilive blocks, how
+deep objects travel from their birth frame, and what is shared between
+threads — is modelled on the paper's per-benchmark characterisation
+(Figs. 4.1-4.6, 4.9, A.1-A.4).  Object counts are scaled down roughly 20x
+(pure-Python substrate); every percentage-shaped result is count-invariant.
+
+Workloads drive the runtime through :class:`~repro.jvm.mutator.Mutator`, so
+the CG collector sees the same event stream bytecode would produce.  They
+are deterministic: all randomness comes from a seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Type
+
+from ..jvm.model import Program
+from ..jvm.mutator import Mutator
+from ..jvm.runtime import Runtime
+
+#: SPEC's size knob.
+SIZES = (1, 10, 100)
+SIZE_NAMES = {1: "small", 10: "medium", 100: "large"}
+
+
+class Workload(ABC):
+    """One benchmark: class definitions plus a mutator program."""
+
+    #: Benchmark name as the paper spells it (e.g. "compress").
+    name: str = "?"
+    #: One-line description (the Fig. 4.1 "description" column).
+    description: str = "?"
+    #: The paper's "lines of source" figure, for the Fig. 4.1 table.
+    source_lines: str = "N/A"
+
+    def __init__(self, seed: int = 2000) -> None:
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def define_classes(self, program: Program) -> None:
+        """Register this workload's classes on the program."""
+
+    @abstractmethod
+    def run(self, mutator: Mutator, size: int, rng: random.Random) -> None:
+        """Execute the benchmark body inside ``mutator``'s main frame."""
+
+    @abstractmethod
+    def heap_words(self, size: int) -> int:
+        """Heap sizing that puts the traditional collector under pressure
+        comparable to the paper's runs (several GC cycles in JDK mode)."""
+
+    # ------------------------------------------------------------------
+
+    def execute(self, runtime: Runtime, size: int) -> None:
+        """Standard entry: define classes, run inside a root frame."""
+        if size not in SIZES:
+            raise ValueError(f"size must be one of {SIZES}, got {size}")
+        self.define_classes(runtime.program)
+        mutator = Mutator(runtime)
+        rng = random.Random(self.seed + size)
+        with mutator.frame(name=f"{self.name}.main"):
+            self.run(mutator, size, rng)
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.name}>"
+
+
+REGISTRY: Dict[str, Type[Workload]] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator: add a workload to the global registry."""
+    if cls.name in REGISTRY:
+        raise ValueError(f"duplicate workload {cls.name!r}")
+    REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_workload(name: str, seed: int = 2000) -> Workload:
+    try:
+        return REGISTRY[name](seed=seed)
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def all_workloads(seed: int = 2000) -> List[Workload]:
+    """The eight benchmarks, in the paper's table order."""
+    order = [
+        "compress", "jess", "raytrace", "db",
+        "javac", "mpegaudio", "mtrt", "jack",
+    ]
+    return [get_workload(name, seed) for name in order if name in REGISTRY]
+
+
+def scaled(base: int, size: int, growth: float = 1.0) -> int:
+    """Scale a size-1 count to a SPEC size.
+
+    ``growth`` < 1 damps scaling (compress/mpegaudio barely grow);
+    ``growth`` = 1 scales linearly with the size knob.
+    """
+    if size == 1:
+        return base
+    return max(base, int(base * size ** growth))

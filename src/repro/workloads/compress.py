@@ -1,0 +1,99 @@
+"""``compress`` — modified Lempel-Ziv (SPECjvm98 _201_compress shape).
+
+Paper characterisation: few objects (5,123 small / 6,959 large), almost all
+long-lived (static dictionary and I/O state), heavy computation between
+allocations.  Collectable: 9% without / 11% with the static optimization;
+static share ~89%; essentially no thread sharing.  The large run allocates
+barely more than the small one — the size knob buys compute, not objects.
+
+Shape realisation:
+
+* startup pins code-table/dictionary entries via ``putstatic`` chains;
+* each input block is compressed in its own frame with a handful of buffer
+  objects that die when the frame pops;
+* a sub-fraction of the per-block temporaries references a static dictionary
+  entry — collectable only with the section 3.4 optimization (the paper's
+  2-point opt gap);
+* long tick runs model the LZW hash loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..jvm.model import Program
+from ..jvm.mutator import Mutator
+from .base import Workload, register, scaled
+
+
+@register
+class Compress(Workload):
+    name = "compress"
+    description = "Modified Lempel-Ziv"
+    source_lines = "920"
+
+    DICT_ENTRIES = 480
+    IO_STATE = 48
+    BLOCKS = 12
+    TEMPS_PER_BLOCK = 4
+    TICKS_PER_BLOCK = 2200
+
+    def define_classes(self, program: Program) -> None:
+        program.define_class("compress/CodeEntry", fields=["code", "next"])
+        program.define_class("compress/Buffer", fields=["data", "pos"])
+        program.define_class(
+            "compress/Probe", fields=["entry", "hash"]
+        )
+        program.define_class(
+            "compress/IoState", fields=["stream", "mode"]
+        )
+
+    def heap_words(self, size: int) -> int:
+        # Statics dominate; leave room for only a few blocks of temps so the
+        # traditional collector must run in JDK mode.
+        return 4200
+
+    def run(self, mutator: Mutator, size: int, rng: random.Random) -> None:
+        self._build_dictionary(mutator)
+        blocks = scaled(self.BLOCKS, size, growth=0.07)
+        ticks = scaled(self.TICKS_PER_BLOCK, size, growth=1.0)
+        for block in range(blocks):
+            with mutator.frame(name="compress.compressBlock"):
+                self._compress_block(mutator, block, ticks, rng)
+
+    # ------------------------------------------------------------------
+
+    def _build_dictionary(self, mutator: Mutator) -> None:
+        """Startup: the code dictionary and I/O state live forever."""
+        table = mutator.new_array(self.DICT_ENTRIES)
+        mutator.putstatic("compress.codeTable", table)
+        table = mutator.getstatic("compress.codeTable")
+        for i in range(self.DICT_ENTRIES):
+            entry = mutator.new("compress/CodeEntry")
+            mutator.putfield(entry, "code", i)
+            mutator.aastore(table, i, entry)
+        for i in range(self.IO_STATE):
+            state = mutator.new("compress/IoState")
+            mutator.putstatic(f"compress.io{i}", state)
+
+    def _compress_block(self, mutator: Mutator, block: int, ticks: int,
+                        rng: random.Random) -> None:
+        table = mutator.getstatic("compress.codeTable")
+        inbuf = mutator.new("compress/Buffer")
+        mutator.set_local(0, inbuf)
+        outbuf = mutator.new("compress/Buffer")
+        mutator.set_local(1, outbuf)
+        # The LZW hash loop: computation, occasional dictionary probes.
+        mutator.tick(ticks)
+        for p in range(self.TEMPS_PER_BLOCK - 1):
+            probe = mutator.new("compress/Probe")
+            mutator.putfield(probe, "hash", p)
+            if p == 0:
+                # One probe per block holds a reference to a static
+                # dictionary entry: with the optimization this store is
+                # free; without it the probe is dragged into the static set
+                # (the paper's 9% -> 11% opt gap).
+                entry = mutator.aaload(table, rng.randrange(self.DICT_ENTRIES))
+                mutator.putfield(probe, "entry", entry)
+            mutator.root(probe)
+        mutator.putfield(outbuf, "pos", ticks)

@@ -1,0 +1,111 @@
+"""``db`` — in-memory database manager (SPECjvm98 _209_db shape).
+
+Paper characterisation: the small run mostly *builds* the database — 64% of
+its 7,608 objects live in the static index, only 36% are collectable.  The
+large run inverts completely: 3.2M objects, 99% collectable, and — uniquely
+in the suite — 0% *exactly* collectable: every transient object is part of
+a multi-object block, because query results are linked lists whose nodes
+contaminate one another.
+
+Shape realisation:
+
+* startup loads records into a static index (array of records), each record
+  carrying a field object — the static bulk;
+* each transaction runs in its own frame and builds a linked chain of
+  result tuples (head -> node -> node ...), so every tuple is in a block of
+  size >= 2 (0% exact);
+* transactions scale steeply with the size knob (the paper's 7.6k -> 3.2M
+  explosion), while the index grows slowly — flipping static-heavy into
+  collectable-heavy;
+* a fraction of result tuples references an index record: opt-sensitive
+  (the paper's 18% -> 36% small-run gap).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..jvm.model import Program
+from ..jvm.mutator import Mutator
+from .base import Workload, register, scaled
+
+
+@register
+class Db(Workload):
+    name = "db"
+    description = "Database Manager"
+    source_lines = "1020"
+
+    RECORDS = 280
+    TRANSACTIONS = 96
+    RESULTS_PER_QUERY = 3
+
+    def define_classes(self, program: Program) -> None:
+        program.define_class("db/Record", fields=["key", "payload"])
+        program.define_class("db/Field", fields=["text"])
+        program.define_class(
+            "db/ResultNode", fields=["record", "next", "score"]
+        )
+
+    def heap_words(self, size: int) -> int:
+        # db is compute-bound (shell sort); roomy heaps keep the base
+        # system's collections rare, as the paper's ~0.94 speedups imply.
+        return {1: 9000, 10: 16000, 100: 26000}[size]
+
+    def run(self, mutator: Mutator, size: int, rng: random.Random) -> None:
+        records = scaled(self.RECORDS, size, growth=0.12)
+        self._load_database(mutator, records)
+        transactions = scaled(self.TRANSACTIONS, size, growth=1.2)
+        for txn in range(transactions):
+            with mutator.frame(name="db.transaction"):
+                self._transaction(mutator, records, txn, rng)
+
+    # ------------------------------------------------------------------
+
+    def _load_database(self, mutator: Mutator, records: int) -> None:
+        index = mutator.new_array(records)
+        mutator.putstatic("db.index", index)
+        index = mutator.getstatic("db.index")
+        for i in range(records):
+            record = mutator.new("db/Record")
+            field = mutator.new("db/Field")
+            mutator.putfield(record, "payload", field)
+            mutator.putfield(record, "key", i)
+            mutator.aastore(index, i, record)
+
+    def _transaction(self, mutator: Mutator, records: int, txn: int,
+                     rng: random.Random) -> None:
+        # The index scan runs one or two frames below the transaction and
+        # returns the result chain up, so db's deaths land at frame
+        # distances 1-2 (Fig. 4.6's db profile peaks at 2).
+        head = self._scan_index(mutator, records, txn, 1 + txn % 2, rng)
+        mutator.root(head)
+        # Sort / format the results (computation), then drop them with the
+        # transaction frame.
+        mutator.tick(110)
+
+    def _scan_index(self, mutator: Mutator, records: int, txn: int,
+                    depth: int, rng: random.Random):
+        with mutator.frame(name="db.scanIndex"):
+            if depth > 1:
+                head = self._scan_index(mutator, records, txn, depth - 1, rng)
+                return mutator.areturn(head)
+            index = mutator.getstatic("db.index")
+            head = mutator.new("db/ResultNode")
+            mutator.set_local(0, head)
+            tail = head
+            for r in range(self.RESULTS_PER_QUERY - 1):
+                mutator.tick(34)  # index scan / comparison work
+                node = mutator.new("db/ResultNode")
+                mutator.putfield(node, "score", r)
+                if r == 0 and txn % 2 == 0:
+                    # Half the queries keep a reference to the matched
+                    # record: collectable only with the static optimization
+                    # (the paper's 18% -> 36% small-run gap).
+                    record = mutator.aaload(index, rng.randrange(records))
+                    mutator.putfield(node, "record", record)
+                # Chain into the result list: blocks of size >= 2, so db's
+                # exactly-collectable share is ~0% (Fig. 4.9).
+                mutator.putfield(tail, "next", node)
+                tail = mutator.getfield(tail, "next")
+            return mutator.areturn(head)

@@ -1,0 +1,112 @@
+"""``jack`` — PCCTS parser generator (SPECjvm98 _228_jack shape).
+
+Paper characterisation: the allocation firehose — 393,742 objects small,
+89% collectable with the optimization (69% without), and the suite's
+largest *exact* share (30%): tokens are singletons.  Fig. 4.6 shows jack's
+signature: most objects die at distance 1 (263,574) — a token is allocated
+inside ``nextToken`` and returned to the parsing method that consumes and
+drops it — and Fig. 4.5 shows blocks of size 1 and 2 dominating (tokens
+and token-node pairs).
+
+Shape realisation:
+
+* the grammar tables are static (the 11% static share);
+* ``parse`` loops over productions; each production frame calls
+  ``nextToken`` (one frame down) which allocates the token and areturns it
+  (death at distance 1, token block stays a never-unioned singleton: exact);
+* every production allocates a node and attaches one token to it (a block
+  of size 2) plus scratch singletons (distance 0);
+* a minority of nodes cite a static grammar rule — the no-opt gap
+  (89% -> 69%).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..jvm.model import Program
+from ..jvm.mutator import Mutator
+from .base import Workload, register, scaled
+
+
+@register
+class Jack(Workload):
+    name = "jack"
+    description = "PCCTS tool"
+    source_lines = "N/A"
+
+    GRAMMAR_RULES = 230
+    PRODUCTIONS = 420
+    TOKENS_PER_PRODUCTION = 3
+
+    def define_classes(self, program: Program) -> None:
+        program.define_class("jack/Token", fields=["kind", "text"])
+        program.define_class(
+            "jack/Node", fields=["token", "child", "rule"]
+        )
+        program.define_class("jack/Rule", fields=["name", "rhs"])
+        program.define_class("jack/Scratch", fields=["bits"])
+
+    def heap_words(self, size: int) -> int:
+        return {1: 13000, 10: 16000, 100: 30000}[size]
+
+    def run(self, mutator: Mutator, size: int, rng: random.Random) -> None:
+        self._load_grammar(mutator, size)
+        productions = scaled(self.PRODUCTIONS, size, growth=1.0)
+        for p in range(productions):
+            with mutator.frame(name="jack.parseProduction"):
+                self._parse_production(mutator, p, rng)
+
+    # ------------------------------------------------------------------
+
+    def _load_grammar(self, mutator: Mutator, size: int) -> None:
+        rules = scaled(self.GRAMMAR_RULES, size, growth=0.62)
+        table = mutator.new_array(rules)
+        mutator.putstatic("jack.grammar", table)
+        mutator.putstatic("jack.ruleCount", rules)
+        table = mutator.getstatic("jack.grammar")
+        for i in range(rules):
+            rule = mutator.new("jack/Rule")
+            mutator.putfield(rule, "name", i)
+            mutator.aastore(table, i, rule)
+
+    def _parse_production(self, mutator: Mutator, production: int,
+                          rng: random.Random) -> None:
+        grammar = mutator.getstatic("jack.grammar")
+        rule_count = mutator.getstatic("jack.ruleCount")
+        # Lex the production's tokens: each is born one frame down and
+        # returned (distance 1); all but one stay exact singletons.
+        tokens = []
+        for t in range(self.TOKENS_PER_PRODUCTION):
+            with mutator.frame(name="jack.nextToken"):
+                token = self._next_token(mutator, t, rng)
+            # root() consumes the operand-stack entry itself; unrooting
+            # first would open a GC window on the fresh token.
+            mutator.root(token)
+            tokens.append(token)
+        # Build the production's node, attaching one token: size-2 block.
+        node = mutator.new("jack/Node")
+        mutator.putfield(node, "token", tokens[0])
+        if production % 2 == 1:
+            # Half the productions keep a second token as a child: a mix of
+            # size-2 and size-3 blocks (Fig. 4.5's jack profile).
+            mutator.putfield(node, "child", tokens[1])
+        if production % 2 == 0:
+            # Half the nodes cite the static grammar rule they were produced
+            # by: the 69% -> 89% opt gap (the attached token is dragged
+            # along, so each hit is worth the whole block).
+            rule = mutator.aaload(grammar, rng.randrange(rule_count))
+            mutator.putfield(node, "rule", rule)
+        mutator.root(node)
+        # Scratch singleton (distance 0, exact).
+        scratch = mutator.new("jack/Scratch")
+        mutator.putfield(scratch, "bits", production)
+        mutator.root(scratch)
+        mutator.tick(36)  # semantic actions / output generation
+
+    def _next_token(self, mutator: Mutator, kind: int,
+                    rng: random.Random):
+        mutator.tick(9)  # scanning
+        token = mutator.new("jack/Token")
+        mutator.putfield(token, "kind", kind)
+        return mutator.areturn(token)

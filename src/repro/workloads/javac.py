@@ -1,0 +1,131 @@
+"""``javac`` — the Java compiler (SPECjvm98 _213_javac shape).
+
+Paper characterisation: the odd one out.  In the small run the majority of
+its 26,116 objects are forced into the static set *by thread sharing*
+(Fig. A.1 — javac is the only benchmark with a meaningful thread column),
+only ~24% are collectable, and Fig. 4.6 shows a distinctive death profile:
+"a significant portion of objects allocated in a frame are detected
+collectable when that frame's caller returns" (distance 1).  The large run
+flips to ~91% collectable with thread sharing down to about a third of
+objects (Fig. A.4).
+
+Shape realisation:
+
+* per-unit parse frames build AST subtrees one frame down and return them
+  to the unit frame (deaths at distance 1, the javac signature);
+* symbols are entered into a long-lived symbol table owned by the compiler's
+  root frame (NOT static) that a background class-writer thread also reads:
+  the first cross-thread read pins the table's whole equilive block, and
+  every later symbol entered contaminates into it — so symbols count as
+  *thread-shared*, not putstatic-static, exactly as the paper attributes
+  them;
+* identifier strings go through ``String.intern`` (section 3.2);
+* the unit count scales linearly with size while per-unit sharing shrinks,
+  reproducing the small-to-large flip.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..jvm.model import Program
+from ..jvm.mutator import Mutator
+from .base import Workload, register, scaled
+
+
+@register
+class Javac(Workload):
+    name = "javac"
+    description = "Java Compiler"
+    source_lines = "9485"
+
+    UNITS = 14
+    DECLS_PER_UNIT = 8
+    SYMBOLS_PER_UNIT = 58
+    GRAMMAR_STATICS = 200
+    IDENTIFIERS = 60
+    TABLE_SLOTS = 4096
+
+    def define_classes(self, program: Program) -> None:
+        program.define_class(
+            "javac/AstNode", fields=["kind", "left", "right"]
+        )
+        program.define_class(
+            "javac/Symbol", fields=["name", "type", "owner"]
+        )
+        program.define_class("javac/Type", fields=["tag", "elem"])
+        program.define_class("javac/Scope", fields=["table", "outer"])
+
+    def heap_words(self, size: int) -> int:
+        # The shared symbol table is live for the whole run and grows with
+        # it; the harness (like SPEC's) raises -Xmx with the input size.
+        return {1: 9600, 10: 70000, 100: 36000}[size]
+
+    def run(self, mutator: Mutator, size: int, rng: random.Random) -> None:
+        self._init_compiler(mutator)
+        # The compiler-lifetime symbol table: rooted in the main frame, so
+        # it is NOT static — it becomes thread-shared on first writer read.
+        scope = mutator.new("javac/Scope")
+        mutator.set_local(0, scope)
+        table = mutator.new_array(self.TABLE_SLOTS)
+        mutator.putfield(scope, "table", table)
+
+        writer = mutator.spawn("javac-classwriter")
+        units = scaled(self.UNITS, size, growth=1.0)
+        decls = scaled(self.DECLS_PER_UNIT, size, growth=0.25)
+        # Per-unit sharing shrinks with size: small runs share over half
+        # their objects, large runs about a third.
+        symbols_per_unit = max(6, int(self.SYMBOLS_PER_UNIT * size ** -0.12))
+        count = 0
+        with writer.frame(name="javac.classWriterLoop"):
+            for unit in range(units):
+                with mutator.frame(name="javac.compileUnit"):
+                    count = self._compile_unit(
+                        mutator, writer, table, unit, count,
+                        decls, symbols_per_unit, rng,
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _init_compiler(self, mutator: Mutator) -> None:
+        """Predefined types and operator tables: genuinely static."""
+        for i in range(self.GRAMMAR_STATICS):
+            t = mutator.new("javac/Type")
+            mutator.putstatic(f"javac.predef{i}", t)
+
+    def _compile_unit(self, mutator: Mutator, writer: Mutator, table,
+                      unit: int, count: int, decls: int,
+                      symbols_per_unit: int, rng: random.Random) -> int:
+        # Parse: each declaration's subtree is built one frame down and
+        # returned to the unit frame (deaths at distance 1).
+        for _ in range(decls):
+            with mutator.frame(name="javac.parseDecl"):
+                tree = self._parse_decl(mutator, rng)
+            # root() moves the returned tree from the operand stack into a
+            # local slot (never leaving it unrooted across a GC point).
+            mutator.root(tree)
+        # Identifier strings are interned (section 3.2).
+        if unit % 3 == 0:
+            name = mutator.new_string(f"ident{unit % self.IDENTIFIERS}")
+            mutator.intern(name)
+        # Enter symbols into the shared table; the class-writer thread
+        # consumes them as it streams class files out -> thread-shared.
+        for s in range(symbols_per_unit):
+            symbol = mutator.new("javac/Symbol")
+            mutator.putfield(symbol, "name", s)
+            slot = (count + s) % self.TABLE_SLOTS
+            mutator.aastore(table, slot, symbol)
+            if s % 2 == 0:
+                writer.aaload(table, slot, keep=False)
+                writer.tick(2)
+        mutator.tick(1400)  # attribution / code generation
+        return count + symbols_per_unit
+
+    def _parse_decl(self, mutator: Mutator, rng: random.Random):
+        left = mutator.new("javac/AstNode")
+        right = mutator.new("javac/AstNode")
+        root = mutator.new("javac/AstNode")
+        mutator.putfield(root, "left", left)
+        mutator.putfield(root, "right", right)
+        mutator.tick(20)
+        return mutator.areturn(root)

@@ -1,0 +1,129 @@
+"""``jess`` — expert-system shell (SPECjvm98 _202_jess shape).
+
+Paper characterisation: 45,867 objects small; collectable 35% without /
+61% with the static optimization — the largest opt gap in the suite,
+because rule matching constantly creates short-lived *tokens* that
+reference facts held in the (static) working memory.  Static share ~39%
+small, shrinking as the run grows (the large run is dominated by transient
+match activity).
+
+Shape realisation:
+
+* the rule base and initial fact list are asserted into static working
+  memory at startup;
+* each rule *activation* runs in its own frame: it allocates match tokens
+  and partial bindings that reference working-memory facts (opt-sensitive)
+  and die at the frame pop;
+* a fraction of activations asserts a new fact (escapes to the working
+  memory -> static) or links tokens to each other (multi-object blocks).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..jvm.model import Program
+from ..jvm.mutator import Mutator
+from .base import Workload, register, scaled
+
+
+@register
+class Jess(Workload):
+    name = "jess"
+    description = "Expert System"
+    source_lines = "570"
+
+    INITIAL_FACTS = 1000
+    RULES = 80
+    ACTIVATIONS = 360
+    TOKENS_PER_ACTIVATION = 4
+    #: Fraction of activations asserting a new (static) fact.
+    ASSERT_EVERY = 12
+
+    def define_classes(self, program: Program) -> None:
+        program.define_class("jess/Fact", fields=["slot0", "slot1", "next"])
+        program.define_class("jess/Rule", fields=["lhs", "rhs"])
+        program.define_class(
+            "jess/Token", fields=["fact", "parent", "binding"]
+        )
+        program.define_class("jess/Binding", fields=["value", "next"])
+
+    def heap_words(self, size: int) -> int:
+        # Static working memory grows with the run; leave ~2x slack so the
+        # base system collects a handful of times per size step.
+        return {1: 16000, 10: 40000, 100: 34000}[size]
+
+    def run(self, mutator: Mutator, size: int, rng: random.Random) -> None:
+        self._assert_rulebase(mutator, size)
+        activations = scaled(self.ACTIVATIONS, size, growth=1.0)
+        for a in range(activations):
+            with mutator.frame(name="jess.fireRule"):
+                self._fire_rule(mutator, a, rng)
+
+    # ------------------------------------------------------------------
+
+    def _assert_rulebase(self, mutator: Mutator, size: int) -> None:
+        """Startup: rules and initial facts go to static working memory."""
+        facts = scaled(self.INITIAL_FACTS, size, growth=0.12)
+        wm = mutator.new_array(facts + scaled(self.ACTIVATIONS, size) // self.ASSERT_EVERY + 1)
+        mutator.putstatic("jess.workingMemory", wm)
+        wm = mutator.getstatic("jess.workingMemory")
+        for i in range(facts):
+            fact = mutator.new("jess/Fact")
+            mutator.putfield(fact, "slot0", i)
+            mutator.aastore(wm, i, fact)
+        mutator.putstatic("jess.factCount", facts)
+        rules = mutator.new_array(self.RULES)
+        mutator.putstatic("jess.rules", rules)
+        rules = mutator.getstatic("jess.rules")
+        for i in range(self.RULES):
+            rule = mutator.new("jess/Rule")
+            mutator.aastore(rules, i, rule)
+
+    def _fire_rule(self, mutator: Mutator, activation: int,
+                   rng: random.Random) -> None:
+        wm = mutator.getstatic("jess.workingMemory")
+        fact_count = mutator.getstatic("jess.factCount")
+        # Each beta join builds a token pair one or two frames down the
+        # match network and returns it to the activation frame, so jess's
+        # deaths land at frame distances 1-2 (Fig. 4.6's jess profile,
+        # which peaks at distance 2).
+        join_depth = 1 + activation % 2
+        for join in range(self.TOKENS_PER_ACTIVATION // 2):
+            token = self._beta_join(mutator, join, join_depth, rng)
+            mutator.root(token)
+            mutator.tick(12)  # agenda maintenance
+        if activation % self.ASSERT_EVERY == 0:
+            # The rule's RHS asserts a new fact: it escapes to working
+            # memory and becomes static.
+            new_fact = mutator.new("jess/Fact")
+            mutator.putfield(new_fact, "slot1", activation)
+            mutator.aastore(wm, fact_count, new_fact)
+            mutator.putstatic("jess.factCount", fact_count + 1)
+        # One scratch binding that never escapes: exact (singleton) block.
+        binding = mutator.new("jess/Binding")
+        mutator.putfield(binding, "value", activation)
+        mutator.root(binding)
+
+    def _beta_join(self, mutator: Mutator, join: int, depth: int,
+                   rng: random.Random):
+        """Create a token pair ``depth`` frames down and return it up."""
+        with mutator.frame(name="jess.betaJoin"):
+            if depth > 1:
+                token = self._beta_join(mutator, join, depth - 1, rng)
+                return mutator.areturn(token)
+            wm = mutator.getstatic("jess.workingMemory")
+            fact_count = mutator.getstatic("jess.factCount")
+            left = mutator.new("jess/Token")
+            if join == 0:
+                # The first join's token references a working-memory fact:
+                # it (and its partner) is collectable only thanks to the
+                # static optimization — the paper's 35% -> 61% gap.
+                fact = mutator.aaload(wm, rng.randrange(fact_count))
+                mutator.putfield(left, "fact", fact)
+            right = mutator.new("jess/Token")
+            # Tokens pair up (beta joins): blocks of size 2 dominate,
+            # matching the Fig. 4.5 jess distribution.
+            mutator.putfield(right, "parent", left)
+            mutator.tick(40)  # alpha/beta network evaluation
+            return mutator.areturn(right)

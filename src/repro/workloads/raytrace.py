@@ -1,0 +1,167 @@
+"""``raytrace`` / ``mtrt`` — ray tracer (SPECjvm98 _205_raytrace/_227_mtrt).
+
+Paper characterisation: the allocation-heaviest benchmarks (276,960 objects
+small) and CG's best case — 98% collectable, tiny static share (the scene),
+and a striking age-at-death profile (Fig. 4.6): over half the collected
+objects die more than five frames from their birth frame, because vectors
+and intersection records allocated deep in the shading recursion are
+contaminated by the per-pixel ray they attach to, anchoring them at the
+pixel frame far above.
+
+``mtrt`` is the same tracer with two render threads sharing the scene: only
+a sliver of objects (the scene graph touched by both threads) goes to the
+thread-shared static set — matching the paper's observation that mtrt's
+results are nearly identical to raytrace's.
+
+Shape realisation per pixel (frame depths in parentheses):
+
+    renderScene(1) -> renderRow(2) -> renderPixel(3):
+        Ray allocated here
+        trace(4) ... trace(4+depth):      # reflection recursion
+            Vec/Isect temps, putfield onto the ray -> anchored at (3)
+            shade color returned by areturn up the chain
+
+so temps die when the pixel frame pops, at distance ~recursion depth (>5),
+while per-call scratch vectors die at distance 0-2.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..jvm.model import Program
+from ..jvm.mutator import Mutator
+from .base import Workload, register, scaled
+
+
+class _TracerCore:
+    """Shared scene/render machinery for raytrace and mtrt."""
+
+    SCENE_OBJECTS = 110
+    ROWS = 12
+    PIXELS_PER_ROW = 14
+    MAX_BOUNCES = 12
+
+    def define_tracer_classes(self, program: Program) -> None:
+        if "raytrace/Vec" in program.classes:
+            return
+        program.define_class("raytrace/Vec", fields=["x", "y", "z"])
+        program.define_class(
+            "raytrace/Ray", fields=["origin", "dir", "isect"]
+        )
+        program.define_class(
+            "raytrace/Isect", fields=["point", "normal", "prim"]
+        )
+        program.define_class(
+            "raytrace/Primitive", fields=["center", "material"]
+        )
+        program.define_class("raytrace/Color", fields=["r", "g", "b"])
+
+    def build_scene(self, mutator: Mutator, count: int) -> None:
+        """The scene graph: the only long-lived data (static)."""
+        scene = mutator.new_array(count)
+        mutator.putstatic("raytrace.scene", scene)
+        scene = mutator.getstatic("raytrace.scene")
+        for i in range(count):
+            prim = mutator.new("raytrace/Primitive")
+            center = mutator.new("raytrace/Vec")
+            mutator.putfield(prim, "center", center)
+            mutator.aastore(scene, i, prim)
+
+    def render_row(self, mutator: Mutator, pixels: int, bounces: int,
+                   rng: random.Random) -> None:
+        for _ in range(pixels):
+            with mutator.frame(name="raytrace.renderPixel"):
+                self.render_pixel(mutator, bounces, rng)
+
+    def render_pixel(self, mutator: Mutator, bounces: int,
+                     rng: random.Random) -> None:
+        ray = mutator.new("raytrace/Ray")
+        mutator.set_local(0, ray)
+        origin = mutator.new("raytrace/Vec")
+        mutator.putfield(ray, "origin", origin)
+        depth = 2 + rng.randrange(bounces)
+        color = self._trace(mutator, ray, depth, rng)
+        # The resulting color is consumed here (written to the static
+        # framebuffer would pin it; SPEC raytrace writes pixels to an int
+        # canvas, so the Color object itself stays frame-local).
+        mutator.getfield(color, "r")
+
+    def _trace(self, mutator: Mutator, ray, depth: int,
+               rng: random.Random):
+        with mutator.frame(name="raytrace.trace"):
+            mutator.tick(10)  # intersection math
+            # Scratch vector: dies with this very frame (distance 0).
+            scratch = mutator.new("raytrace/Vec")
+            mutator.root(scratch)
+            # Intersection record attaches to the ray: contaminated into
+            # the pixel-frame block -> dies far from its birth frame.
+            isect = mutator.new("raytrace/Isect")
+            normal = mutator.new("raytrace/Vec")
+            mutator.putfield(isect, "normal", normal)
+            mutator.putfield(ray, "isect", isect)
+            if depth > 0:
+                # The recursive areturn left the color on this frame's
+                # operand stack (rooted); areturn below consumes it.
+                color = self._trace(mutator, ray, depth - 1, rng)
+            else:
+                color = mutator.new("raytrace/Color")
+            return mutator.areturn(color)
+
+
+@register
+class Raytrace(Workload, _TracerCore):
+    name = "raytrace"
+    description = "Ray Tracer"
+    source_lines = "3750"
+
+    def define_classes(self, program: Program) -> None:
+        self.define_tracer_classes(program)
+
+    def heap_words(self, size: int) -> int:
+        # The scene (live set) grows with the input model; roomy at small
+        # sizes (the paper's small-run base system barely collected).
+        return {1: 22000, 10: 34000, 100: 38000}[size]
+
+    def run(self, mutator: Mutator, size: int, rng: random.Random) -> None:
+        self.build_scene(mutator, scaled(self.SCENE_OBJECTS, size, growth=0.55))
+        rows = scaled(self.ROWS, size, growth=0.55)
+        pixels = scaled(self.PIXELS_PER_ROW, size, growth=0.45)
+        for _ in range(rows):
+            with mutator.frame(name="raytrace.renderRow"):
+                self.render_row(mutator, pixels, self.MAX_BOUNCES, rng)
+
+
+@register
+class Mtrt(Workload, _TracerCore):
+    name = "mtrt"
+    description = "Ray Tracer, threaded"
+    source_lines = "3750"
+
+    def define_classes(self, program: Program) -> None:
+        self.define_tracer_classes(program)
+
+    def heap_words(self, size: int) -> int:
+        return {1: 22000, 10: 34000, 100: 38000}[size]
+
+    def run(self, mutator: Mutator, size: int, rng: random.Random) -> None:
+        self.build_scene(mutator, scaled(self.SCENE_OBJECTS, size, growth=0.55))
+        rows = scaled(self.ROWS, size, growth=0.55)
+        pixels = scaled(self.PIXELS_PER_ROW, size, growth=0.45)
+        worker = mutator.spawn("render-2")
+        with worker.frame(name="mtrt.workerMain"):
+            # A handful of coordination objects are genuinely shared: both
+            # threads touch them (the paper reports ~45 shared objects).
+            shared = []
+            for _ in range(3):
+                latch = mutator.new("raytrace/Color")
+                mutator.set_local(len(shared), latch)
+                shared.append(latch)
+            for latch in shared:
+                worker.touch(latch)
+            # Interleave the two render threads row by row, as the round
+            # robin scheduler would.
+            for row in range(rows):
+                renderer = mutator if row % 2 == 0 else worker
+                with renderer.frame(name="mtrt.renderRow"):
+                    self.render_row(renderer, pixels, self.MAX_BOUNCES, rng)

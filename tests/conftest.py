@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CGPolicy, Mutator, Program, Runtime, RuntimeConfig
+
+
+def make_runtime(
+    heap_words: int = 1 << 16,
+    cg: CGPolicy | None = None,
+    tracing: str = "marksweep",
+    gc_period_ops: int | None = None,
+    paranoid: bool = True,
+    **cg_overrides,
+) -> Runtime:
+    """A runtime with paranoid CG checking on by default (tests only)."""
+    if cg is None:
+        cg = CGPolicy(paranoid=paranoid, **cg_overrides)
+    config = RuntimeConfig(
+        heap_words=heap_words,
+        cg=cg,
+        tracing=tracing,
+        gc_period_ops=gc_period_ops,
+    )
+    runtime = Runtime(config)
+    define_test_classes(runtime.program)
+    return runtime
+
+
+def define_test_classes(program: Program) -> None:
+    """The small class library most tests share."""
+    program.define_class("Node", fields=["next", "payload"])
+    program.define_class("Pair", fields=["first", "second"])
+    program.define_class("Box", fields=["value"])
+    program.define_class("Big", fields=[f"f{i}" for i in range(14)])
+
+
+@pytest.fixture
+def rt() -> Runtime:
+    return make_runtime()
+
+
+@pytest.fixture
+def rt_no_tracing() -> Runtime:
+    return make_runtime(tracing="none")
+
+
+@pytest.fixture
+def m(rt: Runtime) -> Mutator:
+    return Mutator(rt)
+
+
+def assert_clean(runtime: Runtime) -> None:
+    """Heap accounting and equilive invariants all hold."""
+    runtime.check_heap_accounting()
+    runtime.check_cg_invariants()

@@ -1,0 +1,144 @@
+"""The section 3.7 recycling optimization: deferred free + first-fit reuse."""
+
+import pytest
+
+from repro import CGPolicy, Mutator
+from tests.conftest import assert_clean, make_runtime
+
+
+def recycling_runtime(**kw):
+    kw.setdefault("heap_words", 256)
+    return make_runtime(cg=CGPolicy(recycling=True, paranoid=True), **kw)
+
+
+class TestParkAndReuse:
+    def test_popped_objects_are_parked_not_freed(self):
+        rt = recycling_runtime(heap_words=1 << 14)
+        m = Mutator(rt)
+        free_before = rt.heap.free_list.free_words
+        with m.frame():
+            with m.frame():
+                m.root(m.new("Node"))
+        # Storage parked: the free list did NOT grow.
+        assert rt.heap.free_list.free_words < free_before
+        assert len(rt.collector.recycle) == 1
+        assert_clean(rt)
+
+    def test_allocation_reuses_parked_storage(self):
+        # 64 words = 16 Nodes: exhaustion forces the recycle path.
+        rt = recycling_runtime(heap_words=64)
+        m = Mutator(rt)
+        addresses = set()
+        with m.frame():
+            for _ in range(50):
+                with m.frame():
+                    h = m.new("Node")
+                    addresses.add(h.addr)
+                    m.root(h)
+        assert rt.collector.stats.objects_recycled > 0
+        # Heavy address reuse: far fewer distinct addresses than objects.
+        assert len(addresses) < 50
+        assert_clean(rt)
+
+    def test_first_fit_takes_first_big_enough(self):
+        rt = recycling_runtime(heap_words=1 << 14)
+        m = Mutator(rt)
+        with m.frame():
+            with m.frame():
+                m.root(m.new("Node"))   # 4 words
+                m.root(m.new("Big"))    # 16 words
+            # Both parked now; ask for something Node-sized: first fit is
+            # the Node (parked first).
+            donor = rt.collector.take_recycled(4)
+            assert donor is not None
+            assert donor.size == 4
+        assert rt.collector.stats.objects_recycled == 1
+
+    def test_miss_counted_when_nothing_fits(self):
+        rt = recycling_runtime(heap_words=1 << 14)
+        m = Mutator(rt)
+        with m.frame():
+            with m.frame():
+                m.root(m.new("Node"))
+            assert rt.collector.take_recycled(1000) is None
+        assert rt.collector.stats.recycle_misses == 1
+        assert rt.collector.stats.recycle_search_steps >= 1
+
+    def test_larger_donor_surplus_returned(self):
+        rt = recycling_runtime(heap_words=1 << 14)
+        m = Mutator(rt)
+        with m.frame():
+            with m.frame():
+                m.root(m.new("Big"))  # 16 words parked
+            free_before = rt.heap.free_list.free_words
+            # Allocate a Node (4 words): heap has plenty, so the free list
+            # path wins; force the recycle path directly instead.
+            donor = rt.collector.take_recycled(4)
+            new = rt.heap.adopt_storage(
+                donor, rt.program.lookup("Node"), 0, 1, 0
+            )
+            assert rt.heap.free_list.free_words == free_before + (16 - 4)
+            rt.collector.on_alloc(new, m.current_frame)
+            m.current_frame.stack.append(new)
+            m.drop(new)
+        assert_clean(rt)
+
+
+class TestFlush:
+    def test_tracing_gc_flushes_recycle_list(self):
+        rt = recycling_runtime(heap_words=1 << 14)
+        m = Mutator(rt)
+        with m.frame():
+            with m.frame():
+                m.root(m.new("Node"))
+            assert len(rt.collector.recycle) == 1
+            rt.tracing.collect()
+            assert len(rt.collector.recycle) == 0
+        assert_clean(rt)
+
+    def test_flush_restores_heap_accounting(self):
+        rt = recycling_runtime(heap_words=1 << 14)
+        m = Mutator(rt)
+        with m.frame():
+            with m.frame():
+                for _ in range(5):
+                    m.root(m.new("Node"))
+            parked = rt.collector.recycle.parked_words
+            assert parked == 5 * 4
+            rt.collector.recycle.flush()
+            assert rt.collector.recycle.parked_words == 0
+        rt.heap.check_accounting()
+
+
+class TestRecyclingDisabled:
+    def test_no_recycling_without_policy(self):
+        rt = make_runtime(heap_words=256)
+        m = Mutator(rt)
+        with m.frame():
+            for _ in range(50):
+                with m.frame():
+                    m.root(m.new("Node"))
+        assert rt.collector.stats.objects_recycled == 0
+        assert len(rt.collector.recycle) == 0
+
+    def test_take_recycled_none_when_disabled(self):
+        rt = make_runtime()
+        assert rt.collector.take_recycled(4) is None
+
+
+class TestRecyclingVsAllocatorSearch:
+    def test_recycling_reduces_free_list_churn(self):
+        """The paper's claim: recycling converts per-object frees into a
+        pointer splice, cutting free-list operations."""
+        def churn(policy):
+            rt = make_runtime(heap_words=512, cg=policy)
+            m = Mutator(rt)
+            with m.frame():
+                for _ in range(100):
+                    with m.frame():
+                        m.root(m.new("Node"))
+            return rt.heap.free_list.frees
+
+        plain = churn(CGPolicy(paranoid=True))
+        recycled = churn(CGPolicy(recycling=True, paranoid=True))
+        assert recycled < plain

@@ -1,0 +1,73 @@
+"""Unit tests for the statistics module (bucketing and fractions)."""
+
+from repro.core.stats import CGStats
+
+
+class TestFractions:
+    def test_zero_objects_is_zero_not_nan(self):
+        stats = CGStats()
+        assert stats.collectable_fraction() == 0.0
+        assert stats.exact_fraction() == 0.0
+
+    def test_collectable_fraction(self):
+        stats = CGStats()
+        stats.objects_created = 10
+        stats.objects_popped = 4
+        assert stats.collectable_fraction() == 0.4
+
+    def test_exact_fraction(self):
+        stats = CGStats()
+        stats.objects_created = 8
+        stats.exact_objects = 2
+        assert stats.exact_fraction() == 0.25
+
+
+class TestAgeBuckets:
+    def test_empty_buckets_are_zero(self):
+        buckets = CGStats().age_buckets()
+        assert set(buckets) == {"0", "1", "2", "3", "4", "5", ">5"}
+        assert all(v == 0 for v in buckets.values())
+
+    def test_boundary_at_five(self):
+        stats = CGStats()
+        stats.age_hist[5] = 3
+        stats.age_hist[6] = 7
+        stats.age_hist[40] = 1
+        buckets = stats.age_buckets()
+        assert buckets["5"] == 3
+        assert buckets[">5"] == 8
+
+    def test_totals_conserved(self):
+        stats = CGStats()
+        for d in range(12):
+            stats.age_hist[d] = d + 1
+        buckets = stats.age_buckets()
+        assert sum(buckets.values()) == sum(stats.age_hist.values())
+
+
+class TestBlockSizeBuckets:
+    def test_boundaries(self):
+        stats = CGStats()
+        for size in (1, 5, 6, 10, 11, 100):
+            stats.block_size_hist[size] = 1
+        buckets = stats.block_size_buckets()
+        assert buckets["1"] == 1
+        assert buckets["5"] == 1
+        assert buckets["6-10"] == 2
+        assert buckets[">10"] == 2
+
+    def test_totals_conserved(self):
+        stats = CGStats()
+        for size in range(1, 30):
+            stats.block_size_hist[size] = 2
+        buckets = stats.block_size_buckets()
+        assert sum(buckets.values()) == 58
+
+
+class TestCounters:
+    def test_counter_fields_independent_across_instances(self):
+        a, b = CGStats(), CGStats()
+        a.static_pins["shared"] += 1
+        a.age_hist[3] += 1
+        assert b.static_pins["shared"] == 0
+        assert b.age_hist[3] == 0

@@ -1,0 +1,144 @@
+"""Unit tests for the union-find forest (thesis section 3.1.1)."""
+
+import pytest
+
+from repro.core.unionfind import DisjointSets
+
+
+class TestMakeSet:
+    def test_new_elements_are_their_own_roots(self):
+        ds = DisjointSets()
+        ids = [ds.make_set() for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+        for x in ids:
+            assert ds.find(x) == x
+
+    def test_len_counts_elements(self):
+        ds = DisjointSets()
+        assert len(ds) == 0
+        ds.make_set()
+        ds.make_set()
+        assert len(ds) == 2
+
+    def test_contains(self):
+        ds = DisjointSets()
+        ds.make_set()
+        assert 0 in ds
+        assert 1 not in ds
+        assert -1 not in ds
+
+    def test_ensure_extends_universe(self):
+        ds = DisjointSets()
+        ds.ensure(7)
+        assert len(ds) == 8
+        assert all(ds.find(x) == x for x in range(8))
+
+    def test_ensure_is_idempotent(self):
+        ds = DisjointSets()
+        ds.ensure(3)
+        ds.union(0, 3)
+        ds.ensure(3)  # must not disturb existing sets
+        assert ds.same_set(0, 3)
+
+
+class TestUnionFind:
+    def test_union_merges(self):
+        ds = DisjointSets()
+        a, b = ds.make_set(), ds.make_set()
+        root = ds.union(a, b)
+        assert root in (a, b)
+        assert ds.same_set(a, b)
+
+    def test_union_returns_existing_root_when_already_merged(self):
+        ds = DisjointSets()
+        a, b = ds.make_set(), ds.make_set()
+        r1 = ds.union(a, b)
+        r2 = ds.union(a, b)
+        assert r1 == r2
+        assert ds.unions == 1  # second call was a no-op
+
+    def test_transitivity(self):
+        ds = DisjointSets()
+        xs = [ds.make_set() for _ in range(10)]
+        for a, b in zip(xs, xs[1:]):
+            ds.union(a, b)
+        assert all(ds.same_set(xs[0], x) for x in xs)
+
+    def test_disjoint_sets_stay_disjoint(self):
+        ds = DisjointSets()
+        xs = [ds.make_set() for _ in range(6)]
+        ds.union(xs[0], xs[1])
+        ds.union(xs[2], xs[3])
+        assert not ds.same_set(xs[0], xs[2])
+        assert not ds.same_set(xs[1], xs[4])
+
+    def test_union_by_rank_bounds_rank_logarithmically(self):
+        ds = DisjointSets()
+        n = 256
+        xs = [ds.make_set() for _ in range(n)]
+        # Balanced pairwise merging maximises rank growth.
+        layer = xs
+        while len(layer) > 1:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(ds.union(layer[i], layer[i + 1]))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        assert ds.rank_of(xs[0]) <= 8  # log2(256)
+
+    def test_path_compression_flattens(self):
+        ds = DisjointSets()
+        xs = [ds.make_set() for _ in range(50)]
+        for a, b in zip(xs, xs[1:]):
+            ds.union(a, b)
+        root = ds.find(xs[0])
+        # After a find, the element points directly at the root.
+        assert ds._parent[xs[0]] == root
+
+    def test_roots_enumeration(self):
+        ds = DisjointSets()
+        xs = [ds.make_set() for _ in range(4)]
+        ds.union(xs[0], xs[1])
+        roots = set(ds.roots())
+        assert len(roots) == 3
+        assert ds.find(xs[0]) in roots
+
+
+class TestReset:
+    def test_reset_detaches_singleton(self):
+        ds = DisjointSets()
+        a, b = ds.make_set(), ds.make_set()
+        ds.union(a, b)
+        ds.reset(a)
+        ds.reset(b)
+        assert not ds.same_set(a, b)
+        assert ds.find(a) == a
+        assert ds.find(b) == b
+
+    def test_reset_clears_rank(self):
+        ds = DisjointSets()
+        xs = [ds.make_set() for _ in range(4)]
+        ds.union(xs[0], xs[1])
+        ds.union(xs[0], xs[2])
+        root = ds.find(xs[0])
+        for x in xs[:3]:
+            ds.reset(x)
+        assert ds.rank_of(root) == 0
+
+
+class TestCounters:
+    def test_find_and_union_counters(self):
+        ds = DisjointSets()
+        a, b = ds.make_set(), ds.make_set()
+        before = ds.finds
+        ds.union(a, b)
+        assert ds.unions == 1
+        assert ds.finds == before + 2  # union does two finds
+
+    def test_same_set_counts_finds(self):
+        ds = DisjointSets()
+        a, b = ds.make_set(), ds.make_set()
+        before = ds.finds
+        ds.same_set(a, b)
+        assert ds.finds == before + 2

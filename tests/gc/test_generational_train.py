@@ -1,0 +1,161 @@
+"""Tests for the related-work collectors: generational and train."""
+
+import pytest
+
+from repro import CGPolicy, Mutator
+from tests.conftest import assert_clean, make_runtime
+
+
+class TestGenerational:
+    def test_minor_cycle_collects_young_garbage(self):
+        rt = make_runtime(tracing="generational")
+        m = Mutator(rt)
+        with m.frame():
+            keep = m.new("Node")
+            m.set_local(0, keep)
+            for _ in range(10):
+                m.drop(m.new("Node"))
+            freed = rt.tracing.collect_minor()
+            assert freed == 10
+            keep.check_live()
+        assert_clean(rt)
+
+    def test_survivors_promote_out_of_young(self):
+        rt = make_runtime(tracing="generational")
+        m = Mutator(rt)
+        with m.frame():
+            keep = m.new("Node")
+            m.set_local(0, keep)
+            rt.tracing.collect_minor()
+            assert keep.id not in rt.tracing._young  # promoted
+            keep.check_live()
+
+    def test_minor_cycle_skips_old_garbage(self):
+        """Old-generation garbage needs a major cycle — the classic
+        generational trade-off."""
+        rt = make_runtime(tracing="generational")
+        m = Mutator(rt)
+        with m.frame():
+            h = m.new("Node")
+            m.set_local(0, h)
+            rt.tracing.collect_minor()  # promotes h
+            m.set_local(0, None)        # now dead, but old
+            assert rt.tracing.collect_minor() == 0
+            assert rt.tracing.collect_major() == 1
+        assert_clean(rt)
+
+    def test_write_barrier_remembers_old_to_young(self):
+        rt = make_runtime(tracing="generational")
+        m = Mutator(rt)
+        with m.frame():
+            old = m.new("Node")
+            m.set_local(0, old)
+            rt.tracing.collect_minor()  # old is promoted
+            young = m.new("Node")
+            m.putfield(old, "next", young)
+            assert rt.tracing.work.barrier_hits == 1
+            # young is NOT directly rooted; survives via the remembered set
+            # (set_local(0, None) keeps old alive through nothing... keep
+            # old rooted, drop direct young refs).
+            freed = rt.tracing.collect_minor()
+            assert freed == 0
+            young.check_live()
+        assert_clean(rt)
+
+    def test_allocation_pressure_escalates_to_major(self):
+        rt = make_runtime(heap_words=256, tracing="generational")
+        m = Mutator(rt)
+        with m.frame():
+            for _ in range(200):
+                m.drop(m.new("Node"))
+        assert rt.tracing.work.minor_cycles >= 1
+        assert_clean(rt)
+
+    def test_cg_notified_on_generational_sweep(self):
+        rt = make_runtime(tracing="generational")
+        m = Mutator(rt)
+        with m.frame():
+            a = m.new("Node")
+            m.root(a)
+            b = m.new("Node")
+            m.putfield(a, "next", b)
+            m.putfield(a, "next", None)
+            rt.tracing.collect_minor()
+            assert rt.collector.stats.collected_by_msa == 1
+        assert rt.collector.stats.objects_popped == 1
+        assert_clean(rt)
+
+
+class TestTrain:
+    def test_unreachable_car_members_collected(self):
+        rt = make_runtime(tracing="train")
+        m = Mutator(rt)
+        with m.frame():
+            keep = m.new("Node")
+            m.set_local(0, keep)
+            for _ in range(10):
+                m.drop(m.new("Node"))
+            freed = rt.tracing.collect()
+            assert freed == 10
+            keep.check_live()
+        assert_clean(rt)
+
+    def test_cyclic_garbage_reclaimed_with_train(self):
+        """The train algorithm's selling point: cycles spanning cars die
+        when their whole train is unreferenced."""
+        rt = make_runtime(tracing="train")
+        rt.tracing.car_capacity = 1  # force the cycle across cars
+        m = Mutator(rt)
+        with m.frame():
+            a = m.new("Node")
+            b = m.new("Node")
+            m.putfield(a, "next", b)
+            m.putfield(b, "next", a)
+            m.drop(a)
+            freed = rt.tracing.collect()
+            assert freed == 2
+        assert_clean(rt)
+
+    def test_referenced_objects_evacuated_not_freed(self):
+        rt = make_runtime(tracing="train")
+        rt.tracing.car_capacity = 2
+        m = Mutator(rt)
+        with m.frame():
+            a = m.new("Node")
+            m.set_local(0, a)
+            b = m.new("Node")
+            m.putfield(a, "next", b)
+            before = rt.tracing.work.objects_collected
+            rt.tracing.collect_increment()
+            a.check_live()
+            b.check_live()
+            assert rt.tracing.work.objects_collected == before
+        assert_clean(rt)
+
+    def test_allocation_pressure_drives_increments(self):
+        rt = make_runtime(heap_words=256, tracing="train")
+        m = Mutator(rt)
+        with m.frame():
+            for _ in range(200):
+                m.drop(m.new("Node"))
+        assert rt.tracing.work.cycles >= 1
+        assert_clean(rt)
+
+    def test_write_barrier_counted(self):
+        rt = make_runtime(tracing="train")
+        m = Mutator(rt)
+        with m.frame():
+            a, b = m.new("Node"), m.new("Node")
+            m.putfield(a, "next", b)
+            assert rt.tracing.work.barrier_hits == 1
+            m.drop(a)
+
+
+class TestNullCollector:
+    def test_never_collects(self):
+        rt = make_runtime(tracing="none")
+        m = Mutator(rt)
+        with m.frame():
+            m.drop(m.new("Node"))
+            assert rt.tracing.collect() == 0
+        assert rt.tracing.work.objects_collected == 0

@@ -1,0 +1,189 @@
+"""The section 3.6 reset pass: rebuild CG structures during marking."""
+
+import pytest
+
+from repro import CGPolicy, Mutator
+from repro.core.stats import CAUSE_SHARED
+from tests.conftest import assert_clean, make_runtime
+
+
+def reset_runtime(**kw):
+    kw.setdefault("heap_words", 1 << 16)
+    return make_runtime(cg=CGPolicy(resetting=True, paranoid=True), **kw)
+
+
+class TestResetRepairsConservatism:
+    def test_static_finger_undone(self):
+        """Objects pinned by touch-and-point-away return to their frame."""
+        rt = reset_runtime()
+        m = Mutator(rt)
+        with m.frame():
+            finger = m.new("Node")
+            m.putstatic("finger", finger)
+            finger = m.getstatic("finger")
+            with m.frame() as inner:
+                victims = []
+                for _ in range(5):
+                    v = m.new("Node")
+                    m.putfield(finger, "next", v)
+                    m.putfield(finger, "next", None)
+                    m.root(v)
+                    victims.append(v)
+                assert all(
+                    rt.collector.equilive.block_of(v).is_static
+                    for v in victims
+                )
+                rt.tracing.collect()
+                # After the reset, victims are anchored on the inner frame.
+                for v in victims:
+                    block = rt.collector.equilive.block_of(v)
+                    assert not block.is_static
+                    assert block.frame is inner
+            # ... and therefore collected at the inner pop.
+            assert rt.collector.stats.objects_popped == 5
+            assert rt.collector.stats.less_live == 5
+        assert_clean(rt)
+
+    def test_overlong_chains_reanchored(self):
+        """Symmetric-contamination drag (the D-depends-on-frame-1 case of
+        Fig. 2.2 step 3) is repaired: after unlinking, a reset re-anchors
+        the young object on its own frame."""
+        rt = reset_runtime()
+        m = Mutator(rt)
+        with m.frame() as outer:
+            old = m.new("Node")
+            m.set_local(0, old)
+            with m.frame() as inner:
+                young = m.new("Node")
+                m.putfield(young, "next", old)  # drags young to outer
+                m.root(young)
+                assert rt.collector.equilive.block_of(young).frame is outer
+                m.putfield(young, "next", None)
+                rt.tracing.collect()
+                assert rt.collector.equilive.block_of(young).frame is inner
+            assert young.freed
+
+    def test_reset_counts_passes(self):
+        rt = reset_runtime()
+        m = Mutator(rt)
+        with m.frame():
+            m.set_local(0, m.new("Node"))
+            rt.tracing.collect()
+            rt.tracing.collect()
+        assert rt.collector.stats.reset_passes == 2
+
+
+class TestResetPreservesTruth:
+    def test_live_references_rebuild_contamination(self):
+        """Objects that genuinely reference each other stay equilive."""
+        rt = reset_runtime()
+        m = Mutator(rt)
+        with m.frame():
+            a = m.new("Node")
+            b = m.new("Node")
+            m.putfield(a, "next", b)
+            m.set_local(0, a)
+            rt.tracing.collect()
+            eq = rt.collector.equilive
+            assert eq.block_of(a) is eq.block_of(b)
+            assert_clean(rt)
+
+    def test_statics_stay_static(self):
+        rt = reset_runtime()
+        m = Mutator(rt)
+        with m.frame():
+            s = m.new("Node")
+            m.putstatic("s", s)
+            child = m.new("Node")
+            s2 = m.getstatic("s")
+            m.putfield(s2, "next", child)
+            rt.tracing.collect()
+            eq = rt.collector.equilive
+            assert eq.block_of(s).is_static
+            assert eq.block_of(child).is_static  # still reachable from static
+
+    def test_oldest_reaching_frame_wins(self):
+        """An object visible from two frames re-anchors on the older one."""
+        rt = reset_runtime()
+        m = Mutator(rt)
+        with m.frame() as outer:
+            h = m.new("Node")
+            m.set_local(0, h)
+            with m.frame():
+                m.set_local(0, h)  # also referenced by the younger frame
+                rt.tracing.collect()
+                assert rt.collector.equilive.block_of(h).frame is outer
+            h.check_live()
+
+    def test_cross_thread_objects_pin_shared_during_reset(self):
+        rt = reset_runtime()
+        m = Mutator(rt)
+        other = m.spawn()
+        with m.frame():
+            with other.frame():
+                shared = m.new("Node")
+                m.set_local(0, shared)
+                other.set_local(0, shared)  # both stacks reference it
+                rt.tracing.collect()
+                block = rt.collector.equilive.block_of(shared)
+                assert block.is_static
+                assert block.static_cause == CAUSE_SHARED
+
+    def test_soundness_after_reset(self):
+        """Paranoid probe active: collections after a reset stay sound."""
+        rt = reset_runtime(gc_period_ops=64)
+        m = Mutator(rt)
+        with m.frame():
+            keeper = m.new("Node")
+            m.set_local(0, keeper)
+            for _ in range(50):
+                with m.frame():
+                    x = m.new("Node")
+                    y = m.new("Node")
+                    m.putfield(x, "next", y)
+                    m.root(x)
+            keeper.check_live()
+        assert rt.collector.stats.reset_passes >= 1
+        assert rt.collector.stats.objects_popped >= 90
+        assert_clean(rt)
+
+
+class TestResetStatsProtocol:
+    def test_less_live_counts_only_improvements(self):
+        rt = reset_runtime()
+        m = Mutator(rt)
+        with m.frame():
+            stable = m.new("Node")
+            m.set_local(0, stable)
+            rt.tracing.collect()
+            # Nothing improved: stable was already anchored correctly.
+            assert rt.collector.stats.less_live == 0
+
+    def test_objects_allocated_after_snapshot_ignored(self):
+        """end_reset only compares objects that existed at begin_reset."""
+        rt = reset_runtime()
+        m = Mutator(rt)
+        with m.frame():
+            old = m.new("Node")
+            m.set_local(0, old)
+            snapshot = rt.collector.begin_reset()
+            rt.collector.reset_assign(old, m.current_frame)
+            # Allocated mid-pass (never happens in a real atomic GC, but the
+            # protocol must not miscount it as an improvement).
+            fresh = m.new("Node")
+            improved = rt.collector.end_reset(snapshot)
+            assert improved == 0
+            m.drop(fresh)
+
+    def test_reset_assign_rejects_double_assignment(self):
+        from repro.jvm.errors import IllegalStateError
+
+        rt = reset_runtime()
+        m = Mutator(rt)
+        with m.frame():
+            h = m.new("Node")
+            rt.collector.begin_reset()
+            rt.collector.reset_assign(h, m.current_frame)
+            with pytest.raises(IllegalStateError):
+                rt.collector.reset_assign(h, m.current_frame)
+            m.drop(h)

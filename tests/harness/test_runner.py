@@ -1,0 +1,163 @@
+"""Tests for the run harness: systems, results, and cost model."""
+
+import pytest
+
+from repro.core.policy import CGPolicy
+from repro.harness.costmodel import cost_of
+from repro.harness.runner import (
+    BIG_HEAP_WORDS,
+    SYSTEMS,
+    config_for,
+    run_workload,
+)
+from repro.jvm.runtime import Runtime, RuntimeConfig
+from repro.jvm.mutator import Mutator
+
+
+class TestConfigFor:
+    def test_every_named_system_builds(self):
+        for system in SYSTEMS:
+            config = config_for(system, 1 << 16)
+            assert config.heap_words > 0
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            config_for("zgc", 1 << 16)
+
+    def test_cg_system_has_opt(self):
+        assert config_for("cg", 1 << 16).cg.static_opt
+
+    def test_noopt_system(self):
+        config = config_for("cg-noopt", 1 << 16)
+        assert config.cg.enabled and not config.cg.static_opt
+
+    def test_jdk_system_disables_cg(self):
+        assert not config_for("jdk", 1 << 16).cg.enabled
+
+    def test_nogc_systems_use_big_heap(self):
+        for system in ("cg-nogc", "jdk-nogc", "cg-noopt-nogc"):
+            config = config_for(system, 1 << 10)
+            assert config.heap_words == BIG_HEAP_WORDS
+            assert config.tracing == "none"
+
+    def test_reset_system_has_period(self):
+        config = config_for("cg-reset", 1 << 16)
+        assert config.cg.resetting
+        assert config.gc_period_ops is not None
+
+    def test_recycle_system(self):
+        assert config_for("cg-recycle", 1 << 16).cg.recycling
+
+    def test_related_work_systems(self):
+        assert config_for("gen", 1 << 16).tracing == "generational"
+        assert config_for("train", 1 << 16).tracing == "train"
+
+
+class TestRunWorkload:
+    def test_result_fields_populated(self):
+        r = run_workload("compress", 1, "cg")
+        assert r.workload == "compress"
+        assert r.size == 1
+        assert r.objects_created > 0
+        assert r.ops > 0
+        assert r.sim_ms > 0
+        assert r.wall_seconds > 0
+        assert 0 <= r.collectable_pct <= 100
+        assert r.census["popped"] + r.census["static"] + r.census["thread"] \
+            + r.census["collected_by_msa"] >= r.objects_created
+
+    def test_jdk_run_has_no_cg_stats(self):
+        r = run_workload("compress", 1, "jdk")
+        assert r.cg_stats is None
+        assert r.cost.cg_maintenance == 0.0
+
+    def test_heap_override(self):
+        r = run_workload("compress", 1, "cg", heap_words=1 << 20)
+        assert r.heap_words == 1 << 20
+
+    def test_workload_instance_accepted(self):
+        from repro.workloads import get_workload
+
+        r = run_workload(get_workload("db"), 1, "cg")
+        assert r.workload == "db"
+
+    def test_deterministic_sim_cost(self):
+        a = run_workload("jess", 1, "cg")
+        b = run_workload("jess", 1, "cg")
+        assert a.sim_ms == b.sim_ms
+        assert a.census == b.census
+
+
+class TestCostModel:
+    def test_components_nonnegative_and_additive(self):
+        r = run_workload("jack", 1, "cg")
+        c = r.cost
+        for part in (c.mutator, c.allocator, c.tracing_gc, c.cg_maintenance):
+            assert part >= 0
+        assert c.total_units == pytest.approx(
+            c.mutator + c.allocator + c.tracing_gc + c.cg_maintenance
+        )
+
+    def test_cg_charged_only_when_enabled(self):
+        cg = run_workload("jack", 1, "cg")
+        jdk = run_workload("jack", 1, "jdk")
+        assert cg.cost.cg_maintenance > 0
+        assert jdk.cost.cg_maintenance == 0
+
+    def test_mutator_cost_matches_ops(self):
+        r = run_workload("compress", 1, "cg")
+        assert r.cost.mutator == pytest.approx(r.ops)
+
+    def test_squeezed_handle_costs_less(self):
+        """Section 3.5: the 8-word handle halves per-allocation CG cost."""
+        from repro.harness.costmodel import cost_of
+
+        def run(words):
+            rt = Runtime(
+                RuntimeConfig(
+                    heap_words=1 << 16,
+                    cg=CGPolicy(handle_words=words),
+                    tracing="none",
+                )
+            )
+            rt.program.define_class("N", fields=["x"])
+            m = Mutator(rt)
+            with m.frame():
+                for _ in range(100):
+                    m.root(m.new("N"))
+            return cost_of(rt).cg_maintenance
+
+        assert run(8) < run(16)
+
+
+class TestSystemBehaviours:
+    def test_jdk_collects_more_cycles_than_cg_at_scale(self):
+        """The headline claim: CG decreases traditional-GC frequency."""
+        cg = run_workload("jack", 10, "cg")
+        jdk = run_workload("jack", 10, "jdk")
+        assert jdk.gc_work.cycles > cg.gc_work.cycles
+
+    def test_nogc_systems_never_collect(self):
+        r = run_workload("jess", 1, "cg-nogc")
+        assert r.gc_work.cycles == 0
+
+    def test_reset_system_resets(self):
+        r = run_workload("jess", 1, "cg-reset")
+        assert r.cg_stats.reset_passes >= 1
+
+    def test_recycle_system_recycles_under_pressure(self):
+        from repro.harness.figures import pressured_heap
+
+        r = run_workload(
+            "jack", 1, "cg-recycle", heap_words=pressured_heap("jack", 1)
+        )
+        assert r.cg_stats.objects_recycled > 0
+
+    def test_generational_runs_all_workloads_small(self):
+        r = run_workload("raytrace", 1, "gen")
+        assert r.gc_work.minor_cycles + r.gc_work.cycles >= 0
+        assert r.objects_created > 0
+
+    def test_train_runs_small(self):
+        r = run_workload("db", 1, "train")
+        assert r.objects_created > 0

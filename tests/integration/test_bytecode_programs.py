@@ -1,0 +1,298 @@
+"""Integration: nontrivial bytecode programs exercising VM + CG together."""
+
+import pytest
+
+from repro import CGPolicy, Runtime, RuntimeConfig, assemble
+
+
+def run(source, entry="Main.main", heap_words=1 << 16, tracing="marksweep",
+        cg=None, args=None):
+    rt = Runtime(
+        RuntimeConfig(
+            heap_words=heap_words,
+            cg=cg or CGPolicy(paranoid=True),
+            tracing=tracing,
+        ),
+        program=assemble(source),
+    )
+    result = rt.run(entry, args or [])
+    rt.check_heap_accounting()
+    if rt.collector:
+        rt.check_cg_invariants()
+    return result, rt
+
+
+BINARY_TREE = """
+class Tree
+    field left
+    field right
+    field key
+
+method Tree.insert(2) locals=3
+    ; args: node, key -> returns the (possibly new) subtree root
+    load 0
+    ifnull fresh
+    load 1
+    load 0
+    getfield key
+    if_icmpeq dup
+    load 1
+    load 0
+    getfield key
+    if_icmplt goleft
+    load 0
+    load 0
+    getfield right
+    load 1
+    invokestatic Tree.insert
+    putfield right
+    load 0
+    retval
+goleft:
+    load 0
+    load 0
+    getfield left
+    load 1
+    invokestatic Tree.insert
+    putfield left
+    load 0
+    retval
+dup:
+    load 0
+    retval
+fresh:
+    new Tree
+    store 2
+    load 2
+    load 1
+    putfield key
+    load 2
+    retval
+
+method Tree.count(1)
+    load 0
+    ifnull zero
+    load 0
+    getfield left
+    invokestatic Tree.count
+    load 0
+    getfield right
+    invokestatic Tree.count
+    add
+    const 1
+    add
+    retval
+zero:
+    const 0
+    retval
+
+class Main
+method Main.main(0) locals=3
+    aconst_null
+    store 0
+    const 0
+    store 1
+build:
+    load 1
+    const 20
+    if_icmpge done
+    load 0
+    load 1
+    const 7
+    mul
+    const 13
+    mod
+    invokestatic Tree.insert
+    store 0
+    iinc 1 1
+    goto build
+done:
+    load 0
+    invokestatic Tree.count
+    retval
+"""
+
+
+class TestBinaryTree:
+    def test_builds_and_counts(self):
+        result, rt = run(BINARY_TREE)
+        # keys are i*7 mod 13: 13 distinct values over 20 inserts.
+        assert result == 13
+        assert rt.collector.stats.objects_created == 13
+
+    def test_tree_dies_with_main(self):
+        _, rt = run(BINARY_TREE)
+        assert rt.collector.stats.objects_popped == 13
+
+    def test_tree_nodes_form_one_block(self):
+        """Insertions chain nodes into each other: one equilive block."""
+        _, rt = run(BINARY_TREE)
+        hist = rt.collector.stats.block_size_hist
+        assert hist[13] == 1
+
+
+ESCAPING_FACTORY = """
+class Item
+    field id
+class Registry
+    static items
+    static count
+
+method Registry.publish(1) locals=2
+    ; store arg0 into the static registry array
+    getstatic Registry.items
+    getstatic Registry.count
+    load 0
+    aastore
+    getstatic Registry.count
+    const 1
+    add
+    putstatic Registry.count
+    return
+
+method Registry.makeItem(1) locals=2
+    new Item
+    store 1
+    load 1
+    load 0
+    putfield id
+    load 1
+    retval
+
+class Main
+method Main.main(0) locals=2
+    const 8
+    newarray
+    putstatic Registry.items
+    const 0
+    putstatic Registry.count
+    const 0
+    store 0
+loop:
+    load 0
+    const 16
+    if_icmpge done
+    load 0
+    invokestatic Registry.makeItem
+    store 1
+    ; publish every fourth item; drop the rest
+    load 0
+    const 4
+    mod
+    ifnzero skip
+    load 1
+    invokestatic Registry.publish
+skip:
+    iinc 0 1
+    goto loop
+done:
+    getstatic Registry.count
+    retval
+"""
+
+
+class TestEscapeAnalysisShape:
+    def test_published_items_static_others_collected(self):
+        result, rt = run(ESCAPING_FACTORY)
+        assert result == 4
+        census = rt.collector.final_census()
+        # 16 items + 1 array: 4 published (+ array) static, 12 collected.
+        assert census["popped"] == 12
+        assert census["static"] == 5
+
+    def test_items_die_at_main_not_factory(self):
+        """makeItem areturns the item: it must survive the factory frame
+        and die with main (distance 1 from birth)."""
+        _, rt = run(ESCAPING_FACTORY)
+        assert rt.collector.stats.age_hist[1] == 12
+
+
+GC_PRESSURE = """
+class Blob
+    field a
+    field b
+    field c
+
+class Main
+method Main.main(0) locals=2
+    const 0
+    store 0
+loop:
+    load 0
+    const 200
+    if_icmpge done
+    new Blob
+    store 1
+    iinc 0 1
+    goto loop
+done:
+    load 0
+    retval
+"""
+
+
+class TestGCPressure:
+    def test_msa_keeps_tiny_heap_alive(self):
+        # 200 blobs x 5 words inside one frame: only MSA can reclaim them
+        # (they die mid-frame as local 1 is overwritten).
+        result, rt = run(GC_PRESSURE, heap_words=128)
+        assert result == 200
+        assert rt.tracing.work.cycles >= 1
+
+    def test_oom_without_any_collector(self):
+        from repro import OutOfMemoryError
+
+        with pytest.raises(OutOfMemoryError):
+            run(GC_PRESSURE, heap_words=128, tracing="none",
+                cg=CGPolicy.disabled())
+
+    def test_cg_alone_insufficient_here(self):
+        """The frame never pops during the loop, so CG cannot help — the
+        conservatism story in one test."""
+        from repro import OutOfMemoryError
+
+        with pytest.raises(OutOfMemoryError):
+            run(GC_PRESSURE, heap_words=128, tracing="none")
+
+
+MUTUAL_RECURSION = """
+class Main
+method Main.even(1)
+    load 0
+    ifzero yes
+    load 0
+    const 1
+    sub
+    invokestatic Main.odd
+    retval
+yes:
+    const 1
+    retval
+method Main.odd(1)
+    load 0
+    ifzero no
+    load 0
+    const 1
+    sub
+    invokestatic Main.even
+    retval
+no:
+    const 0
+    retval
+method Main.main(1)
+    load 0
+    invokestatic Main.even
+    retval
+"""
+
+
+class TestDeepStacks:
+    @pytest.mark.parametrize("n,expected", [(0, 1), (7, 0), (40, 1)])
+    def test_mutual_recursion(self, n, expected):
+        result, _ = run(MUTUAL_RECURSION, args=[n])
+        assert result == expected
+
+    def test_frame_ids_unique_across_deep_run(self):
+        _, rt = run(MUTUAL_RECURSION, args=[50])
+        # 51 recursion frames + main = 52 issued ids.
+        assert rt.frame_ids.issued == 52

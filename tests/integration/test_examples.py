@@ -1,0 +1,62 @@
+"""The examples must run clean — they are the library's front door."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "objects reclaimed (no marking!)" in out
+    assert "heap accounting and equilive invariants: OK" in out
+
+
+def test_paper_walkthrough():
+    out = run_example("paper_walkthrough.py")
+    assert "contamination cannot be undone" in out
+    assert "A->frame 0 (static)" in out
+
+
+def test_webserver():
+    out = run_example("webserver.py", "400")
+    assert "CG eliminated" in out
+    assert "CG-collected" in out
+
+
+def test_bytecode_program():
+    out = run_example("bytecode_program.py")
+    assert "census matches the hand count: OK" in out
+
+
+@pytest.mark.parametrize("workload", ["jack", "compress"])
+def test_collector_shootout(workload):
+    out = run_example("collector_shootout.py", workload, "1")
+    assert "reset pass" in out
+    for system in ("cg", "jdk", "gen", "train"):
+        assert system in out
+
+
+def test_shootout_rejects_unknown_workload():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "collector_shootout.py"), "nope"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode != 0
+    assert "unknown workload" in proc.stderr + proc.stdout

@@ -1,0 +1,177 @@
+"""The worked example of thesis chapter 2 (Figures 2.1 and 2.2), executable.
+
+Five objects A-E; frames numbered 0 (oldest) to 5 (youngest); E is static.
+The program of Fig. 2.2 runs in frame 5:
+
+    1:  B.f = A   ->  A joins B's block, dependent on frame 2
+    2:  C.f = B   ->  A, B, C dependent on frame 1
+    3:  D.f = C   ->  D (frame 4) is *younger*: no dependence change for
+                      A/B/C, but the blocks merge (symmetric contamination),
+                      conservatively making D dependent on frame 1 too
+    4:  E.f = D   ->  everything becomes static (frame 0)
+    5:  E.f = null -> contamination cannot be undone; all stay static
+
+We realise the initial placement of Fig. 2.1 exactly: each object X is
+dynamically anchored so its dependent frame matches the figure's "Earliest
+Frame" table (A->3, B->2, C->1, D->4, E->0/static).
+"""
+
+import pytest
+
+from repro import CGPolicy, Mutator, Runtime, RuntimeConfig
+from tests.conftest import assert_clean
+
+
+@pytest.fixture
+def setup():
+    rt = Runtime(
+        RuntimeConfig(cg=CGPolicy(paranoid=True), tracing="marksweep")
+    )
+    rt.program.define_class("Obj", fields=["f"])
+    m = Mutator(rt)
+    return rt, m
+
+
+def enter_frames(m, n):
+    """Push n nested frames (depths 0..n-1) without the context manager."""
+    frames = []
+    for _ in range(n):
+        frames.append(m.runtime.push_frame(m.thread))
+    return frames
+
+
+def test_figure_2_1_initial_dependence(setup):
+    rt, m = setup
+    frames = enter_frames(m, 6)  # depths 0..5
+    cg = rt.collector
+
+    # E: static.  Allocate it anywhere, then putstatic.
+    e = m.new("Obj")
+    m.putstatic("E", e)
+    # A is referenced by frames 3 and 5; earliest is 3.  Anchor by
+    # allocating in frame 3's activation: objects born in a frame depend on
+    # it until something changes that.  We emulate "referenced by frame 5"
+    # by passing the reference down (no CG action needed: deeper frames pop
+    # first).
+    def anchored(depth):
+        # Allocate while the target frame is the current (youngest) one is
+        # not possible here since all frames are already pushed; instead we
+        # allocate and then retarget via the manager, which is exactly what
+        # allocation-in-that-frame would have produced.
+        h = m.new("Obj")
+        block = cg.equilive.block_of(h)
+        cg.equilive.move_to_frame(block, frames[depth])
+        return h
+
+    a, b, c, d = anchored(3), anchored(2), anchored(1), anchored(4)
+
+    table = {
+        "A": (a, 3),
+        "B": (b, 2),
+        "C": (c, 1),
+        "D": (d, 4),
+    }
+    for name, (h, depth) in table.items():
+        assert cg.equilive.block_of(h).frame is frames[depth], name
+    assert cg.equilive.block_of(e).is_static
+    assert_clean(rt)
+
+
+def test_figure_2_2_contamination_steps(setup):
+    rt, m = setup
+    frames = enter_frames(m, 6)
+    cg = rt.collector
+
+    e = m.new("Obj")
+    m.putstatic("E", e)
+    e = m.getstatic("E")
+
+    def anchored(depth):
+        h = m.new("Obj")
+        cg.equilive.move_to_frame(cg.equilive.block_of(h), frames[depth])
+        return h
+
+    a, b, c, d = anchored(3), anchored(2), anchored(1), anchored(4)
+
+    # Step 1: B.f = A.  A's dependence changes from frame 3 to frame 2.
+    m.putfield(b, "f", a)
+    assert cg.equilive.block_of(a).frame is frames[2]
+    assert cg.equilive.block_of(a) is cg.equilive.block_of(b)
+
+    # Step 2: C.f = B.  A and B now depend on frame 1.
+    m.putfield(c, "f", b)
+    for h in (a, b, c):
+        assert cg.equilive.block_of(h).frame is frames[1]
+
+    # Step 3: D.f = C.  D is younger (frame 4): A/B/C unchanged, but the
+    # merge conservatively drags D to frame 1 as well.
+    m.putfield(d, "f", c)
+    for h in (a, b, c, d):
+        assert cg.equilive.block_of(h).frame is frames[1]
+
+    # Step 4: E.f = D.  Everything becomes static.
+    m.putfield(e, "f", d)
+    for h in (a, b, c, d):
+        assert cg.equilive.block_of(h).is_static
+
+    # Step 5: E.f = null.  Contamination cannot be undone.
+    m.putfield(e, "f", None)
+    for h in (a, b, c, d):
+        assert cg.equilive.block_of(h).is_static
+    assert_clean(rt)
+
+
+def test_contamination_never_moves_younger(setup):
+    """Invariant 2: a block's dependent frame only moves to older frames."""
+    rt, m = setup
+    frames = enter_frames(m, 6)
+    cg = rt.collector
+    old = m.new("Obj")
+    cg.equilive.move_to_frame(cg.equilive.block_of(old), frames[1])
+    young = m.new("Obj")
+    cg.equilive.move_to_frame(cg.equilive.block_of(young), frames[4])
+    # Referencing a younger object must not demote the older block.
+    m.putfield(old, "f", young)
+    assert cg.equilive.block_of(old).frame is frames[1]
+    assert cg.equilive.block_of(young).frame is frames[1]
+
+
+def test_static_finger_of_liveness(setup):
+    """The pathological pattern of chapter 2: a static variable that touches
+    every heap object pins everything to frame 0."""
+    rt, m = setup
+    with m.frame():
+        finger = m.new("Obj")
+        m.putstatic("finger", finger)
+        finger = m.getstatic("finger")
+        victims = []
+        with m.frame():
+            for _ in range(10):
+                v = m.new("Obj")
+                m.putfield(finger, "f", v)    # touch
+                m.putfield(finger, "f", None)  # point away
+                victims.append(v)
+                m.root(v)
+        # Inner frame popped: nothing collectable, all contaminated static.
+        assert rt.collector.stats.objects_popped == 0
+        for v in victims:
+            assert rt.collector.equilive.block_of(v).is_static
+    assert_clean(rt)
+
+
+def test_pop_collects_dependent_blocks(setup):
+    """When frame M pops, every block dependent on M is reclaimed."""
+    rt, m = setup
+    cg = rt.collector
+    with m.frame():
+        keeper = m.new("Obj")
+        m.set_local(0, keeper)
+        with m.frame():
+            doomed = [m.new("Obj") for _ in range(5)]
+            for h in doomed:
+                m.root(h)
+        assert cg.stats.objects_popped == 5
+        assert all(h.freed for h in doomed)
+        keeper.check_live()
+    assert cg.stats.objects_popped == 6
+    assert_clean(rt)

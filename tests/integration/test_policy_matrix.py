@@ -1,0 +1,104 @@
+"""Every CG policy combination must stay sound and conserve the census.
+
+A compact mixed workload (allocation, contamination, statics, returns,
+threads, arrays, intern) runs under the cross product of policy knobs with
+paranoid probing on, against both a roomy and a tight heap.
+"""
+
+import itertools
+
+import pytest
+
+from repro import CGPolicy, Mutator, Runtime, RuntimeConfig
+from tests.conftest import assert_clean, define_test_classes
+
+
+def mixed_workload(rt):
+    m = Mutator(rt)
+    with m.frame():
+        registry = m.new_array(8)
+        m.putstatic("registry", registry)
+        registry = m.getstatic("registry")
+        keeper = m.new("Node")
+        m.set_local(0, keeper)
+        other = m.spawn()
+        with other.frame():
+            for i in range(40):
+                with m.frame():
+                    a = m.new("Pair")
+                    b = m.new("Node")
+                    m.putfield(a, "first", b)
+                    m.root(a)
+                    if i % 8 == 0:
+                        m.aastore(registry, (i // 8) % 8, a)
+                    if i % 10 == 0:
+                        shared = m.new("Box")
+                        m.set_local(1, shared)
+                        other.touch(shared)
+                    with m.frame():
+                        tmp = m.new("Node")
+                        m.areturn(tmp)
+                    m.root(tmp)
+            # intern() consumes the temp root and pins the canonical string.
+            m.intern(m.new_string("k"))
+    return rt
+
+
+KNOBS = list(itertools.product([True, False], repeat=3))  # opt, recycle, reset
+
+
+@pytest.mark.parametrize("static_opt,recycling,resetting", KNOBS)
+@pytest.mark.parametrize("heap_words", [1 << 16, 1500])
+def test_policy_matrix(static_opt, recycling, resetting, heap_words):
+    policy = CGPolicy(
+        static_opt=static_opt,
+        recycling=recycling,
+        resetting=resetting,
+        paranoid=True,
+    )
+    rt = Runtime(
+        RuntimeConfig(
+            heap_words=heap_words,
+            cg=policy,
+            tracing="marksweep",
+            gc_period_ops=200 if resetting else None,
+        )
+    )
+    define_test_classes(rt.program)
+    mixed_workload(rt)
+    assert_clean(rt)
+    stats = rt.collector.stats
+    census = rt.collector.final_census()
+    live = rt.heap.live_count()
+    # Conservation: every created object is popped, swept, or still live.
+    assert (
+        stats.objects_created
+        == stats.objects_popped + stats.collected_by_msa + live
+        + len(rt.collector.recycle) * 0  # parked objects already counted as popped
+    )
+
+
+@pytest.mark.parametrize("recycle_by_type", [False, True])
+def test_typed_matrix_tight_heap(recycle_by_type):
+    policy = CGPolicy(
+        recycling=True, recycle_by_type=recycle_by_type, paranoid=True
+    )
+    rt = Runtime(
+        RuntimeConfig(heap_words=1200, cg=policy, tracing="marksweep")
+    )
+    define_test_classes(rt.program)
+    mixed_workload(rt)
+    assert_clean(rt)
+    assert rt.collector.stats.objects_popped > 0
+
+
+def test_disabled_cg_still_conserves():
+    rt = Runtime(
+        RuntimeConfig(heap_words=1500, cg=CGPolicy.disabled(),
+                      tracing="marksweep")
+    )
+    define_test_classes(rt.program)
+    mixed_workload(rt)
+    rt.check_heap_accounting()
+    swept = rt.tracing.work.objects_collected
+    assert rt.heap.objects_created == swept + rt.heap.live_count()

@@ -1,0 +1,226 @@
+"""Unit tests for the textual assembler."""
+
+import pytest
+
+from repro.jvm import bytecode as bc
+from repro.jvm.assembler import assemble
+from repro.jvm.errors import AssemblerError
+
+
+class TestClasses:
+    def test_class_with_fields_and_statics(self):
+        program = assemble(
+            """
+            class Point
+                field x
+                field y
+                static origin
+            """
+        )
+        cls = program.lookup("Point")
+        assert cls.fields == ["x", "y"]
+        assert "origin" in cls.statics
+
+    def test_class_extends(self):
+        program = assemble(
+            """
+            class Base
+                field a
+            class Derived extends Base
+                field b
+            """
+        )
+        derived = program.lookup("Derived")
+        assert derived.fields == ["a", "b"]
+        assert derived.superclass.name == "Base"
+
+    def test_field_outside_class_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("field x")
+
+
+class TestMethods:
+    def test_method_header_and_code(self):
+        program = assemble(
+            """
+            class C
+            method C.add(2)
+                load 0
+                load 1
+                add
+                retval
+            """
+        )
+        method = program.resolve("C.add")
+        assert method.nargs == 2
+        assert [op for op, _, _ in method.code] == [
+            bc.LOAD, bc.LOAD, bc.ADD, bc.RETVAL,
+        ]
+
+    def test_explicit_locals(self):
+        program = assemble(
+            """
+            class C
+            method C.m(1) locals=5
+                return
+            """
+        )
+        assert program.resolve("C.m").nlocals == 5
+
+    def test_locals_inferred_from_stores(self):
+        program = assemble(
+            """
+            class C
+            method C.m(1)
+                const 1
+                store 3
+                return
+            """
+        )
+        assert program.resolve("C.m").nlocals == 4
+
+    def test_instruction_outside_method_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("const 1")
+
+
+class TestLabels:
+    def test_labels_resolve_to_pcs(self):
+        program = assemble(
+            """
+            class C
+            method C.loop(1)
+            top:
+                load 0
+                ifzero done
+                iinc 0 -1
+                goto top
+            done:
+                return
+            """
+        )
+        method = program.resolve("C.loop")
+        assert method.labels == {"top": 0, "done": 4}
+        ifzero = method.code[1]
+        assert ifzero == (bc.IFZERO, 4, None)
+        goto = method.code[3]
+        assert goto == (bc.GOTO, 0, None)
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble(
+                """
+                class C
+                method C.m(0)
+                    goto nowhere
+                """
+            )
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble(
+                """
+                class C
+                method C.m(0)
+                a:
+                a:
+                    return
+                """
+            )
+
+
+class TestOperands:
+    def test_string_literal(self):
+        program = assemble(
+            """
+            class C
+            method C.m(0)
+                ldc_str "hello world"
+                retval
+            """
+        )
+        op, a, _ = program.resolve("C.m").code[0]
+        assert op == bc.LDC_STR
+        assert a == "hello world"
+
+    def test_unquoted_string_rejected(self):
+        with pytest.raises(AssemblerError, match="quoted string"):
+            assemble(
+                """
+                class C
+                method C.m(0)
+                    ldc_str bare
+                """
+            )
+
+    def test_invokevirtual_takes_name_and_nargs(self):
+        program = assemble(
+            """
+            class C
+            method C.m(1)
+                load 0
+                invokevirtual run 1
+                return
+            """
+        )
+        op, a, b = program.resolve("C.m").code[1]
+        assert (op, a, b) == (bc.INVOKEVIRTUAL, "run", 1)
+
+    def test_iinc_two_ints(self):
+        program = assemble(
+            """
+            class C
+            method C.m(1)
+                iinc 0 -3
+                return
+            """
+        )
+        assert program.resolve("C.m").code[0] == (bc.IINC, 0, -3)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble(
+                """
+                class C
+                method C.m(0)
+                    const
+                """
+            )
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble(
+                """
+                class C
+                method C.m(0)
+                    frobnicate 1
+                """
+            )
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble(
+            """
+            ; a file comment
+
+            class C    ; trailing comment
+            method C.m(0)
+                const 1   ; push one
+                retval
+            """
+        )
+        assert len(program.resolve("C.m").code) == 2
+
+
+class TestDisassembler:
+    def test_roundtrip_readable(self):
+        program = assemble(
+            """
+            class C
+            method C.m(0)
+                const 7
+                retval
+            """
+        )
+        text = bc.disassemble(program.resolve("C.m").code)
+        assert "const 7" in text
+        assert "retval" in text

@@ -1,0 +1,427 @@
+"""Unit tests for the bytecode interpreter."""
+
+import pytest
+
+from repro import CGPolicy, Runtime, RuntimeConfig, assemble
+from repro.jvm.errors import (
+    NullPointerError,
+    VerifyError,
+    VMError,
+)
+
+
+def run(source, entry="Main.main", args=None, **config_kwargs):
+    config_kwargs.setdefault("cg", CGPolicy(paranoid=True))
+    program = assemble(source)
+    rt = Runtime(RuntimeConfig(**config_kwargs), program=program)
+    result = rt.run(entry, args or [])
+    return result, rt
+
+
+MAIN = "class Main\nmethod Main.main(0)\n"
+
+
+class TestArithmetic:
+    def test_add(self):
+        result, _ = run(MAIN + "    const 2\n    const 3\n    add\n    retval")
+        assert result == 5
+
+    def test_sub_mul(self):
+        result, _ = run(
+            MAIN + "    const 10\n    const 4\n    sub\n    const 3\n    mul\n    retval"
+        )
+        assert result == 18
+
+    def test_div_truncates_toward_zero(self):
+        result, _ = run(MAIN + "    const -7\n    const 2\n    div\n    retval")
+        assert result == -3  # Java semantics, not Python floor
+
+    def test_mod_java_sign(self):
+        result, _ = run(MAIN + "    const -7\n    const 2\n    mod\n    retval")
+        assert result == -1
+
+    def test_div_by_zero(self):
+        with pytest.raises(VMError, match="division by zero"):
+            run(MAIN + "    const 1\n    const 0\n    div\n    retval")
+
+    def test_neg(self):
+        result, _ = run(MAIN + "    const 5\n    neg\n    retval")
+        assert result == -5
+
+
+class TestLocalsAndStack:
+    def test_store_load(self):
+        result, _ = run(
+            MAIN + "    const 9\n    store 0\n    load 0\n    retval"
+        )
+        assert result == 9
+
+    def test_dup_pop_swap(self):
+        result, _ = run(
+            MAIN
+            + "    const 1\n    const 2\n    swap\n    pop\n    dup\n    add\n    retval"
+        )
+        # stack: 1 2 -> swap -> 2 1 -> pop -> 2 -> dup -> 2 2 -> add -> 4
+        assert result == 4
+
+    def test_iinc(self):
+        result, _ = run(
+            MAIN + "    const 5\n    store 0\n    iinc 0 37\n    load 0\n    retval"
+        )
+        assert result == 42
+
+
+class TestControlFlow:
+    def test_loop_counts_down(self):
+        source = """
+        class Main
+        method Main.main(0) locals=2
+            const 10
+            store 0
+            const 0
+            store 1
+        top:
+            load 0
+            ifzero done
+            iinc 1 2
+            iinc 0 -1
+            goto top
+        done:
+            load 1
+            retval
+        """
+        result, _ = run(source)
+        assert result == 20
+
+    def test_comparison_branches(self):
+        source = """
+        class Main
+        method Main.main(0)
+            const 3
+            const 4
+            if_icmplt yes
+            const 0
+            retval
+        yes:
+            const 1
+            retval
+        """
+        result, _ = run(source)
+        assert result == 1
+
+    def test_null_branches(self):
+        source = """
+        class Main
+        method Main.main(0)
+            aconst_null
+            ifnull isnull
+            const 0
+            retval
+        isnull:
+            const 1
+            retval
+        """
+        result, _ = run(source)
+        assert result == 1
+
+
+class TestObjects:
+    def test_new_getfield_putfield(self):
+        source = """
+        class Box
+            field v
+        class Main
+        method Main.main(0) locals=1
+            new Box
+            store 0
+            load 0
+            const 11
+            putfield v
+            load 0
+            getfield v
+            retval
+        """
+        result, _ = run(source)
+        assert result == 11
+
+    def test_putfield_on_null_raises(self):
+        source = """
+        class Box
+            field v
+        class Main
+        method Main.main(0)
+            aconst_null
+            const 1
+            putfield v
+            return
+        """
+        with pytest.raises(NullPointerError):
+            run(source)
+
+    def test_unknown_field_raises(self):
+        source = """
+        class Box
+            field v
+        class Main
+        method Main.main(0)
+            new Box
+            getfield missing
+            retval
+        """
+        with pytest.raises(VMError, match="no field"):
+            run(source)
+
+    def test_statics_via_class(self):
+        source = """
+        class Config
+            static limit
+        class Main
+        method Main.main(0)
+            const 99
+            putstatic Config.limit
+            getstatic Config.limit
+            retval
+        """
+        result, _ = run(source)
+        assert result == 99
+
+    def test_instanceof(self):
+        source = """
+        class Animal
+        class Dog extends Animal
+        class Main
+        method Main.main(0)
+            new Dog
+            instanceof Animal
+            retval
+        """
+        result, _ = run(source)
+        assert result == 1
+
+
+class TestArrays:
+    def test_array_store_load_length(self):
+        source = """
+        class Main
+        method Main.main(0) locals=1
+            const 3
+            newarray
+            store 0
+            load 0
+            const 1
+            const 42
+            aastore
+            load 0
+            const 1
+            aaload
+            load 0
+            arraylength
+            add
+            retval
+        """
+        result, _ = run(source)
+        assert result == 45
+
+    def test_out_of_bounds(self):
+        from repro.jvm.errors import ArrayIndexError
+
+        source = """
+        class Main
+        method Main.main(0) locals=1
+            const 2
+            newarray
+            store 0
+            load 0
+            const 5
+            aaload
+            retval
+        """
+        with pytest.raises(ArrayIndexError):
+            run(source)
+
+
+class TestInvocation:
+    def test_invokestatic_with_args(self):
+        source = """
+        class Math
+        method Math.max(2)
+            load 0
+            load 1
+            if_icmpge first
+            load 1
+            retval
+        first:
+            load 0
+            retval
+        class Main
+        method Main.main(0)
+            const 3
+            const 8
+            invokestatic Math.max
+            retval
+        """
+        result, _ = run(source)
+        assert result == 8
+
+    def test_virtual_dispatch(self):
+        source = """
+        class Animal
+        method Animal.speak(1)
+            const 0
+            retval
+        class Dog extends Animal
+        method Dog.speak(1)
+            const 1
+            retval
+        class Main
+        method Main.main(0)
+            new Dog
+            invokevirtual speak 1
+            retval
+        """
+        result, _ = run(source)
+        assert result == 1
+
+    def test_virtual_on_null_raises(self):
+        source = """
+        class Main
+        method Main.main(0)
+            aconst_null
+            invokevirtual speak 1
+            retval
+        """
+        with pytest.raises(NullPointerError):
+            run(source)
+
+    def test_arity_mismatch_detected(self):
+        source = """
+        class C
+        method C.two(2)
+            const 0
+            retval
+        class Main
+        method Main.main(0)
+            new C
+            invokevirtual two 1
+            retval
+        """
+        with pytest.raises(VerifyError):
+            run(source)
+
+    def test_recursion(self):
+        source = """
+        class Math
+        method Math.fib(1)
+            load 0
+            const 2
+            if_icmpge recurse
+            load 0
+            retval
+        recurse:
+            load 0
+            const 1
+            sub
+            invokestatic Math.fib
+            load 0
+            const 2
+            sub
+            invokestatic Math.fib
+            add
+            retval
+        class Main
+        method Main.main(0)
+            const 10
+            invokestatic Math.fib
+            retval
+        """
+        result, _ = run(source)
+        assert result == 55
+
+    def test_falling_off_end_returns_void(self):
+        source = """
+        class C
+        method C.noop(0)
+            const 1
+            pop
+        class Main
+        method Main.main(0)
+            invokestatic C.noop
+            const 7
+            retval
+        """
+        result, _ = run(source)
+        assert result == 7
+
+    def test_main_args(self):
+        source = """
+        class Main
+        method Main.main(2)
+            load 0
+            load 1
+            add
+            retval
+        """
+        result, _ = run(source, args=[20, 22])
+        assert result == 42
+
+    def test_wrong_main_arity(self):
+        with pytest.raises(VerifyError):
+            run(MAIN + "    return", args=[1])
+
+
+class TestCGIntegration:
+    def test_areturn_keeps_returned_object_alive(self):
+        source = """
+        class Box
+            field v
+        class Factory
+        method Factory.make(0)
+            new Box
+            retval
+        class Main
+        method Main.main(0) locals=1
+            invokestatic Factory.make
+            store 0
+            load 0
+            const 5
+            putfield v
+            load 0
+            getfield v
+            retval
+        """
+        result, rt = run(source)
+        assert result == 5
+        # The box dies when main pops.
+        assert rt.collector.stats.objects_popped == 1
+
+    def test_objects_die_at_method_return(self):
+        source = """
+        class Box
+            field v
+        class Worker
+        method Worker.job(0) locals=1
+            new Box
+            store 0
+            return
+        class Main
+        method Main.main(0) locals=1
+            const 10
+            store 0
+        top:
+            load 0
+            ifzero done
+            invokestatic Worker.job
+            iinc 0 -1
+            goto top
+        done:
+            const 0
+            retval
+        """
+        _, rt = run(source)
+        assert rt.collector.stats.objects_popped == 10
+        assert rt.collector.stats.age_hist[0] == 10
+
+    def test_instruction_counting(self):
+        _, rt = run(MAIN + "    const 1\n    retval")
+        assert rt.interpreter.instructions_executed == 2
+        assert rt.ops >= 2

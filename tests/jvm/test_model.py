@@ -1,0 +1,98 @@
+"""Unit tests for the class/method model."""
+
+import pytest
+
+from repro.jvm.errors import LinkageError
+from repro.jvm.model import JClass, JMethod, Program
+
+
+class TestJClass:
+    def test_field_inheritance_order(self):
+        base = JClass("Base", fields=["a", "b"])
+        derived = JClass("Derived", fields=["c"], superclass=base)
+        assert derived.fields == ["a", "b", "c"]
+
+    def test_field_shadowing_not_duplicated(self):
+        base = JClass("Base", fields=["a"])
+        derived = JClass("Derived", fields=["a", "b"], superclass=base)
+        assert derived.fields == ["a", "b"]
+
+    def test_instance_size_min_one_word(self):
+        empty = JClass("Empty")
+        assert empty.instance_size_words() == 1
+
+    def test_method_resolution_walks_supers(self):
+        base = JClass("Base")
+        derived = JClass("Derived", superclass=base)
+        method = JMethod("run", 1)
+        base.add_method(method)
+        assert derived.resolve_method("run") is method
+
+    def test_override_wins(self):
+        base = JClass("Base")
+        derived = JClass("Derived", superclass=base)
+        base.add_method(JMethod("run", 1))
+        override = JMethod("run", 1)
+        derived.add_method(override)
+        assert derived.resolve_method("run") is override
+        assert base.resolve_method("run") is not override
+
+    def test_missing_method_raises(self):
+        cls = JClass("C")
+        with pytest.raises(LinkageError):
+            cls.resolve_method("nope")
+
+
+class TestJMethod:
+    def test_nlocals_defaults_to_nargs(self):
+        assert JMethod("m", 3).nlocals == 3
+
+    def test_nlocals_below_nargs_rejected(self):
+        with pytest.raises(LinkageError):
+            JMethod("m", 3, nlocals=2)
+
+    def test_qualified_name(self):
+        cls = JClass("pkg/C")
+        method = JMethod("m", 0)
+        cls.add_method(method)
+        assert method.qualified_name == "pkg/C.m"
+
+
+class TestProgram:
+    def test_wellknown_classes_exist(self):
+        program = Program()
+        assert program.lookup(Program.OBJECT).name == Program.OBJECT
+        assert program.lookup(Program.STRING).fields == ["value"]
+        assert program.lookup(Program.ARRAY).is_array
+
+    def test_define_class_defaults_to_object_super(self):
+        program = Program()
+        cls = program.define_class("C")
+        assert cls.superclass is program.lookup(Program.OBJECT)
+
+    def test_duplicate_class_rejected(self):
+        program = Program()
+        program.define_class("C")
+        with pytest.raises(LinkageError):
+            program.define_class("C")
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(LinkageError):
+            Program().lookup("Missing")
+
+    def test_resolve_qualified(self):
+        program = Program()
+        cls = program.define_class("C")
+        method = JMethod("m", 0)
+        cls.add_method(method)
+        assert program.resolve("C.m") is method
+
+    def test_resolve_malformed(self):
+        with pytest.raises(LinkageError):
+            Program().resolve("nodot")
+
+    def test_explicit_superclass(self):
+        program = Program()
+        program.define_class("Base", fields=["x"])
+        derived = program.define_class("Derived", superclass="Base")
+        assert derived.fields == ["x"]

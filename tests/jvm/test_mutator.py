@@ -1,0 +1,151 @@
+"""Unit tests for the direct-drive mutator and its root discipline."""
+
+import pytest
+
+from repro import Mutator
+from repro.jvm.errors import IllegalStateError
+from tests.conftest import assert_clean, make_runtime
+
+
+class TestTempRoots:
+    def test_new_is_temp_rooted_on_operand_stack(self, rt, m):
+        with m.frame() as frame:
+            h = m.new("Node")
+            assert h in frame.stack
+            m.drop(h)
+            assert h not in frame.stack
+
+    def test_store_consumes_temp_root(self, rt, m):
+        with m.frame() as frame:
+            a = m.new("Node")
+            b = m.new("Node")
+            m.putfield(a, "next", b)
+            assert b not in frame.stack  # consumed by the store
+            assert a in frame.stack      # container still temp-rooted
+            m.drop(a)
+
+    def test_set_local_consumes_temp_root(self, rt, m):
+        with m.frame() as frame:
+            h = m.new("Node")
+            m.set_local(0, h)
+            assert h not in frame.stack
+            assert frame.locals[0] is h
+
+    def test_putstatic_consumes(self, rt, m):
+        with m.frame() as frame:
+            h = m.new("Node")
+            m.putstatic("k", h)
+            assert h not in frame.stack
+
+    def test_aastore_consumes(self, rt, m):
+        with m.frame() as frame:
+            arr = m.new_array(2)
+            h = m.new("Node")
+            m.aastore(arr, 0, h)
+            assert h not in frame.stack
+            m.drop(arr)
+
+    def test_temp_root_survives_gc(self):
+        """The whole point: an unconsumed allocation must survive a GC."""
+        rt = make_runtime(heap_words=128, tracing="marksweep")
+        m = Mutator(rt)
+        with m.frame():
+            precious = m.new("Node")
+            # Force collections by exhausting the heap with garbage.
+            for _ in range(60):
+                m.drop(m.new("Node"))
+            precious.check_live()  # still alive: operand stack is a root
+            m.drop(precious)
+        assert rt.tracing.work.cycles >= 1
+        assert_clean(rt)
+
+    def test_getfield_keep_temp_roots_result(self, rt, m):
+        with m.frame() as frame:
+            a = m.new("Node")
+            b = m.new("Node")
+            m.putfield(a, "next", b)
+            out = m.getfield(a, "next", keep=True)
+            assert out is b
+            assert b in frame.stack
+            m.drop(a)
+            m.drop(b)
+
+    def test_aaload_keep(self, rt, m):
+        with m.frame() as frame:
+            arr = m.new_array(1)
+            h = m.new("Node")
+            m.aastore(arr, 0, h)
+            out = m.aaload(arr, 0, keep=True)
+            assert out is h
+            assert h in frame.stack
+            m.drop(arr)
+            m.drop(h)
+
+
+class TestFramesAndReturns:
+    def test_frame_context_pushes_and_pops(self, rt, m):
+        assert m.depth == 0
+        with m.frame():
+            assert m.depth == 1
+            with m.frame():
+                assert m.depth == 2
+        assert m.depth == 0
+
+    def test_areturn_reroots_on_caller_stack(self, rt, m):
+        with m.frame() as outer:
+            with m.frame():
+                h = m.new("Node")
+                m.areturn(h)
+            assert h in outer.stack
+            m.consume_from_caller(h)
+            assert h not in outer.stack
+
+    def test_areturn_without_frame_rejected(self, rt, m):
+        with pytest.raises(IllegalStateError):
+            # No frame at all.
+            m.areturn(None)
+
+    def test_root_returns_local_index(self, rt, m):
+        with m.frame() as frame:
+            h = m.new("Node")
+            idx = m.root(h)
+            assert frame.locals[idx] is h
+            assert h not in frame.stack
+
+    def test_get_local(self, rt, m):
+        with m.frame():
+            h = m.new("Node")
+            m.set_local(2, h)
+            assert m.get_local(2) is h
+            assert m.get_local(99) is None
+
+
+class TestSpawn:
+    def test_spawn_binds_new_thread(self, rt, m):
+        other = m.spawn("worker")
+        assert other.thread is not m.thread
+        assert other.runtime is rt
+
+    def test_spawned_thread_frames_are_independent(self, rt, m):
+        other = m.spawn()
+        with m.frame():
+            with other.frame():
+                assert m.depth == 1
+                assert other.depth == 1
+                a = m.new("Node")
+                b = other.new("Node")
+                assert a.alloc_thread == m.thread.thread_id
+                assert b.alloc_thread == other.thread.thread_id
+                m.drop(a)
+                other.drop(b)
+
+
+class TestTicks:
+    def test_every_op_charges_runtime_ops(self, rt, m):
+        before = rt.ops
+        with m.frame():
+            h = m.new("Node")
+            m.putfield(h, "payload", 1)
+            m.getfield(h, "payload")
+            m.drop(h)
+        assert rt.ops >= before + 4

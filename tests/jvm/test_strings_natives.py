@@ -1,0 +1,166 @@
+"""Unit tests for string interning (section 3.2) and natives (section 3.3)."""
+
+import pytest
+
+from repro import Mutator, assemble, CGPolicy, Runtime, RuntimeConfig
+from repro.jvm.errors import LinkageError, VMError
+from repro.jvm.interpreter import VOID
+from repro.jvm.model import JMethod
+from tests.conftest import assert_clean, make_runtime
+
+
+class TestInternTable:
+    def test_first_intern_becomes_canonical(self, rt, m):
+        with m.frame():
+            s = m.new_string("abc")
+            assert m.intern(s) is s
+        assert rt.intern_table.misses == 1
+
+    def test_equal_contents_map_to_same_object(self, rt, m):
+        with m.frame():
+            a = m.intern(m.new_string("k"))
+            b = m.intern(m.new_string("k"))
+            c = m.intern(m.new_string("other"))
+            assert a is b
+            assert a is not c
+        assert rt.intern_table.hits == 1
+        assert rt.intern_table.misses == 2
+
+    def test_interned_strings_survive_all_pops(self, rt, m):
+        with m.frame():
+            s = m.intern(m.new_string("forever"))
+        s.check_live()
+        assert s in set(rt.iter_static_roots())
+
+    def test_intern_non_string_rejected(self, rt, m):
+        with m.frame():
+            h = m.new("Node")
+            with pytest.raises(VMError, match="non-string"):
+                rt.intern(h)
+            m.drop(h)
+
+    def test_duplicate_string_is_collectable(self, rt, m):
+        with m.frame():
+            m.intern(m.new_string("x"))
+            dup = m.new_string("x")
+            canon = m.intern(dup)
+            assert canon is not dup
+        assert dup.freed  # the non-canonical copy died with the frame
+        assert_clean(rt)
+
+
+class TestNatives:
+    def make_vm(self, source, cg=None):
+        program = assemble(source)
+        rt = Runtime(
+            RuntimeConfig(cg=cg or CGPolicy(paranoid=True)), program=program
+        )
+        return rt
+
+    def test_native_method_runs_and_returns(self):
+        source = """
+        class Main
+        method Main.main(0)
+            const 20
+            invokestatic Main.twice
+            retval
+        """
+        rt = self.make_vm(source)
+        cls = rt.program.lookup("Main")
+        cls.add_method(JMethod("twice", 1, native=lambda env, args: args[0] * 2))
+        assert rt.run("Main.main") == 40
+
+    def test_native_void_pushes_nothing(self):
+        source = """
+        class Main
+        method Main.main(0)
+            invokestatic Main.sideeffect
+            const 5
+            retval
+        """
+        rt = self.make_vm(source)
+        hits = []
+        cls = rt.program.lookup("Main")
+        cls.add_method(
+            JMethod("sideeffect", 0, native=lambda env, args: (hits.append(1), VOID)[1])
+        )
+        assert rt.run("Main.main") == 5
+        assert hits == [1]
+
+    def test_native_returning_reference_is_pinned(self):
+        source = """
+        class Box
+            field v
+        class Main
+        method Main.main(0) locals=1
+            invokestatic Main.makeBox
+            store 0
+            const 0
+            retval
+        """
+        rt = self.make_vm(source)
+        cls = rt.program.lookup("Main")
+
+        def make_box(env, args):
+            return env.runtime.allocate("Box", env.thread)
+
+        cls.add_method(JMethod("makeBox", 0, native=make_box))
+        rt.run("Main.main")
+        st = rt.collector.stats
+        # Conservative: the native-returned box lives forever.
+        assert st.objects_pinned["native"] == 1
+        assert st.objects_popped == 0
+
+    def test_native_callback_into_java_pins_result(self):
+        source = """
+        class Box
+            field v
+        class Factory
+        method Factory.make(0)
+            new Box
+            retval
+        class Main
+        method Main.main(0)
+            invokestatic Main.driver
+            retval
+        """
+        rt = self.make_vm(source)
+        cls = rt.program.lookup("Main")
+
+        def driver(env, args):
+            box = env.call("Factory.make", [])
+            return 1 if box is not None else 0
+
+        cls.add_method(JMethod("driver", 0, native=driver))
+        assert rt.run("Main.main") == 1
+        assert rt.collector.stats.objects_pinned["native"] == 1
+
+    def test_env_pin_unpin_roots(self):
+        rt = make_runtime()
+        m = Mutator(rt)
+        from repro.jvm.natives import NativeEnv
+
+        env = NativeEnv(rt, rt.main_thread)
+        with m.frame():
+            h = m.new("Node")
+            env.pin(h)
+            assert h in set(rt.iter_static_roots())
+            env.unpin(h)
+            assert h not in set(rt.iter_static_roots())
+            m.drop(h)
+
+    def test_registry_lookup_missing(self):
+        from repro.jvm.natives import NativeRegistry
+
+        reg = NativeRegistry()
+        with pytest.raises(LinkageError):
+            reg.lookup("No.such")
+
+    def test_registry_register_and_has(self):
+        from repro.jvm.natives import NativeRegistry
+
+        reg = NativeRegistry()
+        fn = lambda env, args: None
+        reg.register("C.m", fn)
+        assert reg.has("C.m")
+        assert reg.lookup("C.m") is fn

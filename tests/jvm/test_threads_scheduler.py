@@ -1,0 +1,120 @@
+"""Unit tests for threads and the round-robin scheduler."""
+
+import pytest
+
+from repro.jvm.errors import IllegalStateError
+from repro.jvm.frames import FrameIdSource
+from repro.jvm.threads import JThread, Scheduler
+
+
+def make_thread(tid=0, name="t"):
+    return JThread(tid, name, FrameIdSource())
+
+
+class TestJThread:
+    def test_fresh_thread_state(self):
+        t = make_thread()
+        assert t.alive and not t.started and not t.finished
+
+    def test_finished_after_stack_drains(self):
+        t = make_thread()
+        t.started = True
+        t.stack.push(None)
+        assert not t.finished
+        t.stack.pop()
+        assert t.finished
+
+
+class TestScheduler:
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            Scheduler(quantum=0)
+
+    def test_round_robin_order(self):
+        sched = Scheduler()
+        threads = [make_thread(i, f"t{i}") for i in range(3)]
+        for t in threads:
+            sched.register(t)
+            t.stack.push(None)  # runnable
+        picked = [sched.next_thread() for _ in range(6)]
+        assert picked == threads + threads
+
+    def test_skips_threads_with_empty_stacks(self):
+        sched = Scheduler()
+        a, b = make_thread(0, "a"), make_thread(1, "b")
+        sched.register(a)
+        sched.register(b)
+        b.stack.push(None)
+        assert sched.next_thread() is b
+        assert sched.next_thread() is b
+
+    def test_none_when_nothing_runnable(self):
+        sched = Scheduler()
+        sched.register(make_thread())
+        assert sched.next_thread() is None
+
+    def test_empty_scheduler(self):
+        assert Scheduler().next_thread() is None
+
+    def test_retire_removes_from_rotation(self):
+        sched = Scheduler()
+        t = make_thread()
+        sched.register(t)
+        t.stack.push(None)
+        sched.retire(t)
+        assert sched.next_thread() is None
+
+    def test_retire_unknown_rejected(self):
+        with pytest.raises(IllegalStateError):
+            Scheduler().retire(make_thread())
+
+    def test_runnable_listing(self):
+        sched = Scheduler()
+        a, b = make_thread(0), make_thread(1)
+        sched.register(a)
+        sched.register(b)
+        a.stack.push(None)
+        assert sched.runnable() == [a]
+
+
+class TestSchedulerDeterminism:
+    def test_quantum_interleaving_is_deterministic(self):
+        """Two identical multithreaded bytecode runs produce identical
+        sharing outcomes (the basis of every mtrt/javac census figure)."""
+        from repro import CGPolicy, Runtime, RuntimeConfig, assemble
+
+        source = """
+        class Box
+            field v
+        class W
+            field item
+        method W.run(1)
+            load 0
+            getfield item
+            const 1
+            putfield v
+            return
+        class Main
+        method Main.main(0) locals=2
+            new Box
+            store 0
+            new W
+            store 1
+            load 1
+            load 0
+            putfield item
+            load 1
+            spawn run 1
+            const 0
+            retval
+        """
+
+        def run_once():
+            rt = Runtime(
+                RuntimeConfig(cg=CGPolicy(paranoid=True), quantum=3),
+                program=assemble(source),
+            )
+            rt.run("Main.main")
+            return dict(rt.collector.stats.objects_pinned)
+
+        assert run_once() == run_once()

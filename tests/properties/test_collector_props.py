@@ -1,0 +1,213 @@
+"""Stateful property test: random mutator programs vs the CG collector.
+
+This is the executable form of the paper's safety claim ("It correctly
+identifies dead objects"): a hypothesis state machine drives a random but
+*legitimate* mutator — objects are only touched while reachable from live
+roots — against a CG-enabled runtime with a tiny heap, paranoid reachability
+probing, mark-sweep backup, and periodic GC.  Any unsoundness surfaces as
+``UseAfterCollect`` (the mutator touched something CG freed) or as the
+paranoid probe firing (CG tried to free something reachable); conservatism
+bugs surface as the equilive/heap invariant checks failing.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import CGPolicy, Mutator, OutOfMemoryError, Runtime, RuntimeConfig
+from tests.conftest import define_test_classes
+
+
+def reachable_from_roots(rt):
+    """All live handles reachable from the runtime's roots."""
+    seen = {}
+    stack = list(rt.iter_roots())
+    while stack:
+        h = stack.pop()
+        if h.id in seen or h.freed:
+            continue
+        seen[h.id] = h
+        stack.extend(h.references())
+    return list(seen.values())
+
+
+class CGMachine(RuleBasedStateMachine):
+    policy = CGPolicy(paranoid=True)
+
+    @initialize()
+    def setup(self):
+        self.rt = Runtime(
+            RuntimeConfig(
+                heap_words=2048,
+                cg=self.policy,
+                tracing="marksweep",
+                gc_period_ops=97,
+            )
+        )
+        define_test_classes(self.rt.program)
+        self.m = Mutator(self.rt)
+        self.rt.push_frame(self.m.thread)
+        self.static_keys = 0
+
+    def teardown(self):
+        if hasattr(self, "rt"):
+            while self.m.thread.stack.frames:
+                self.rt.pop_frame(self.m.thread)
+            recycled = (
+                self.rt.collector.recycle.parked_words
+                if self.rt.collector
+                else 0
+            )
+            self.rt.heap.check_accounting(recycled)
+
+    # --- helpers ---------------------------------------------------------
+
+    def pick(self, data):
+        candidates = reachable_from_roots(self.rt)
+        if not candidates:
+            return None
+        return candidates[data.draw(st.integers(0, len(candidates) - 1))]
+
+    # --- rules -----------------------------------------------------------
+
+    @rule()
+    def push_frame(self):
+        if self.m.depth < 12:
+            self.rt.push_frame(self.m.thread)
+
+    @rule()
+    def pop_frame(self):
+        if self.m.depth > 1:
+            self.rt.pop_frame(self.m.thread)
+
+    @rule(data=st.data())
+    def alloc(self, data):
+        cls = data.draw(st.sampled_from(["Node", "Pair", "Box"]))
+        try:
+            h = self.m.new(cls)
+        except OutOfMemoryError:
+            return
+        if data.draw(st.booleans()):
+            self.m.root(h)
+        else:
+            self.m.drop(h)
+
+    @rule(data=st.data())
+    def alloc_array(self, data):
+        try:
+            h = self.m.new_array(data.draw(st.integers(0, 6)))
+        except OutOfMemoryError:
+            return
+        self.m.root(h)
+
+    @rule(data=st.data())
+    def putfield(self, data):
+        a = self.pick(data)
+        b = self.pick(data)
+        if a is None or a.is_array or not a.fields:
+            return
+        field = data.draw(st.sampled_from(sorted(a.fields)))
+        self.m.putfield(a, field, b)
+
+    @rule(data=st.data())
+    def clear_field(self, data):
+        a = self.pick(data)
+        if a is None or a.is_array or not a.fields:
+            return
+        field = data.draw(st.sampled_from(sorted(a.fields)))
+        self.m.putfield(a, field, None)
+
+    @rule(data=st.data())
+    def array_store(self, data):
+        a = self.pick(data)
+        b = self.pick(data)
+        if a is None or not a.is_array or a.length == 0:
+            return
+        self.m.aastore(a, data.draw(st.integers(0, a.length - 1)), b)
+
+    @rule(data=st.data())
+    def putstatic(self, data):
+        h = self.pick(data)
+        if h is None:
+            return
+        self.m.putstatic(f"s{self.static_keys % 4}", h)
+        self.static_keys += 1
+
+    @rule(data=st.data())
+    def touch_reachable(self, data):
+        """The soundness oracle: reachable objects must never be dead."""
+        h = self.pick(data)
+        if h is not None:
+            self.m.touch(h)
+
+    @rule(data=st.data())
+    def read_field(self, data):
+        h = self.pick(data)
+        if h is None or h.is_array or not h.fields:
+            return
+        field = data.draw(st.sampled_from(sorted(h.fields)))
+        self.m.getfield(h, field)
+
+    @rule()
+    def force_gc(self):
+        self.rt.tracing.collect()
+
+    # --- invariants --------------------------------------------------------
+
+    @invariant()
+    def heap_accounting_holds(self):
+        if hasattr(self, "rt"):
+            recycled = (
+                self.rt.collector.recycle.parked_words
+                if self.rt.collector
+                else 0
+            )
+            self.rt.heap.check_accounting(recycled)
+
+    @invariant()
+    def equilive_invariants_hold(self):
+        if hasattr(self, "rt"):
+            self.rt.check_cg_invariants()
+
+    @invariant()
+    def reachable_objects_alive(self):
+        if hasattr(self, "rt"):
+            for h in reachable_from_roots(self.rt):
+                assert not h.freed
+
+
+class CGMachineNoOpt(CGMachine):
+    policy = CGPolicy(static_opt=False, paranoid=True)
+
+
+class CGMachineRecycling(CGMachine):
+    policy = CGPolicy(recycling=True, paranoid=True)
+
+
+class CGMachineResetting(CGMachine):
+    policy = CGPolicy(resetting=True, paranoid=True)
+
+
+CGMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None
+)
+CGMachineNoOpt.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=50, deadline=None
+)
+CGMachineRecycling.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=50, deadline=None
+)
+CGMachineResetting.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=50, deadline=None
+)
+
+TestCGMachine = CGMachine.TestCase
+TestCGMachineNoOpt = CGMachineNoOpt.TestCase
+TestCGMachineRecycling = CGMachineRecycling.TestCase
+TestCGMachineResetting = CGMachineResetting.TestCase

@@ -1,0 +1,97 @@
+"""Property tests for the free-list allocator (invariant 5 of DESIGN.md)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jvm.heap import FreeList
+
+CAPACITY = 512
+
+
+def check_freelist_invariants(fl: FreeList, allocated: dict) -> None:
+    blocks = fl.blocks()
+    # Address-ordered.
+    addrs = [a for a, _ in blocks]
+    assert addrs == sorted(addrs)
+    # Non-overlapping, in-range, and never adjacent (always coalesced).
+    prev_end = None
+    for addr, size in blocks:
+        assert size > 0
+        assert 0 <= addr and addr + size <= fl.capacity
+        if prev_end is not None:
+            assert addr > prev_end, "adjacent free blocks must coalesce"
+        prev_end = addr + size
+    # Free blocks never overlap allocations.
+    for addr, size in blocks:
+        for a_addr, a_size in allocated.values():
+            assert addr + size <= a_addr or a_addr + a_size <= addr
+    # Conservation.
+    assert fl.free_words + sum(s for _, s in allocated.values()) == fl.capacity
+
+
+@st.composite
+def alloc_free_scripts(draw):
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, 64)),
+                st.tuples(st.just("free"), st.integers(0, 200)),
+            ),
+            max_size=120,
+        )
+    )
+
+
+@given(alloc_free_scripts())
+@settings(max_examples=200)
+def test_invariants_under_random_traffic(script):
+    fl = FreeList(CAPACITY)
+    allocated = {}
+    next_key = 0
+    for op, arg in script:
+        if op == "alloc":
+            addr = fl.allocate(arg)
+            if addr is not None:
+                allocated[next_key] = (addr, arg)
+                next_key += 1
+        else:
+            if allocated:
+                key = sorted(allocated)[arg % len(allocated)]
+                addr, size = allocated.pop(key)
+                fl.free(addr, size)
+        check_freelist_invariants(fl, allocated)
+
+
+@given(alloc_free_scripts())
+@settings(max_examples=100)
+def test_free_everything_restores_single_block(script):
+    fl = FreeList(CAPACITY)
+    allocated = {}
+    next_key = 0
+    for op, arg in script:
+        if op == "alloc":
+            addr = fl.allocate(arg)
+            if addr is not None:
+                allocated[next_key] = (addr, arg)
+                next_key += 1
+        elif allocated:
+            key = sorted(allocated)[arg % len(allocated)]
+            addr, size = allocated.pop(key)
+            fl.free(addr, size)
+    for addr, size in allocated.values():
+        fl.free(addr, size)
+    assert fl.blocks() == [(0, CAPACITY)]
+
+
+@given(st.lists(st.integers(1, 32), min_size=1, max_size=40))
+@settings(max_examples=100)
+def test_allocations_never_overlap(sizes):
+    fl = FreeList(CAPACITY)
+    spans = []
+    for size in sizes:
+        addr = fl.allocate(size)
+        if addr is None:
+            continue
+        for a, s in spans:
+            assert addr + size <= a or a + s <= addr
+        spans.append((addr, size))

@@ -1,0 +1,105 @@
+"""Property tests: union-find vs a naive set-partition model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.unionfind import DisjointSets
+
+
+@st.composite
+def union_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=80,
+        )
+    )
+    return n, ops
+
+
+class NaivePartition:
+    """Reference model: explicit frozensets."""
+
+    def __init__(self, n):
+        self.sets = [{i} for i in range(n)]
+
+    def union(self, a, b):
+        sa = next(s for s in self.sets if a in s)
+        sb = next(s for s in self.sets if b in s)
+        if sa is not sb:
+            self.sets.remove(sb)
+            sa |= sb
+
+    def same(self, a, b):
+        return any(a in s and b in s for s in self.sets)
+
+
+@given(union_sequences())
+@settings(max_examples=200)
+def test_matches_naive_model(seq):
+    n, ops = seq
+    ds = DisjointSets()
+    for _ in range(n):
+        ds.make_set()
+    model = NaivePartition(n)
+    for a, b in ops:
+        ds.union(a, b)
+        model.union(a, b)
+    for a in range(n):
+        for b in range(a, n):
+            assert ds.same_set(a, b) == model.same(a, b)
+
+
+@given(union_sequences())
+@settings(max_examples=100)
+def test_every_element_in_exactly_one_set(seq):
+    n, ops = seq
+    ds = DisjointSets()
+    for _ in range(n):
+        ds.make_set()
+    for a, b in ops:
+        ds.union(a, b)
+    roots = {ds.find(x) for x in range(n)}
+    assert roots <= set(range(n))
+    # Find is idempotent and stable.
+    for x in range(n):
+        r = ds.find(x)
+        assert ds.find(r) == r
+        assert ds.find(x) == r
+
+
+@given(union_sequences())
+@settings(max_examples=100)
+def test_rank_bounded_by_log(seq):
+    import math
+
+    n, ops = seq
+    ds = DisjointSets()
+    for _ in range(n):
+        ds.make_set()
+    for a, b in ops:
+        ds.union(a, b)
+    bound = max(1, math.ceil(math.log2(n + 1)))
+    for x in range(n):
+        assert ds.rank_of(x) <= bound
+
+
+@given(union_sequences())
+@settings(max_examples=100)
+def test_union_is_commutative_in_effect(seq):
+    n, ops = seq
+    forward = DisjointSets()
+    swapped = DisjointSets()
+    for _ in range(n):
+        forward.make_set()
+        swapped.make_set()
+    for a, b in ops:
+        forward.union(a, b)
+        swapped.union(b, a)
+    for a in range(n):
+        for b in range(n):
+            assert forward.same_set(a, b) == swapped.same_set(a, b)

@@ -1,0 +1,205 @@
+"""Tests for the SPEC-shaped workloads: shapes, determinism, soundness.
+
+The quantitative expectations here are the paper's reported values with a
+tolerance band — they pin the *shape* of each benchmark (who is static-heavy,
+who is collectable, where the opt gap is) so refactoring can't silently
+drift the reproduction.
+"""
+
+import pytest
+
+from repro import CGPolicy, Runtime, RuntimeConfig
+from repro.workloads import REGISTRY, SIZES, all_workloads, get_workload, scaled
+from repro.workloads.base import Workload
+
+
+def census_run(name, size=1, policy=None):
+    rt = Runtime(
+        RuntimeConfig(
+            heap_words=1 << 22,
+            cg=policy or CGPolicy.paper_default(),
+            tracing="none",
+        )
+    )
+    get_workload(name).execute(rt, size)
+    rt.check_heap_accounting()
+    rt.check_cg_invariants()
+    census = rt.collector.final_census()
+    total = rt.collector.stats.objects_created
+    return rt, census, total
+
+
+class TestRegistry:
+    def test_all_eight_benchmarks_registered(self):
+        assert set(REGISTRY) == {
+            "compress", "jess", "raytrace", "db",
+            "javac", "mpegaudio", "mtrt", "jack",
+        }
+
+    def test_all_workloads_paper_order(self):
+        names = [w.name for w in all_workloads()]
+        assert names == [
+            "compress", "jess", "raytrace", "db",
+            "javac", "mpegaudio", "mtrt", "jack",
+        ]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nope")
+
+    def test_invalid_size_rejected(self):
+        rt = Runtime(RuntimeConfig(heap_words=1 << 20))
+        with pytest.raises(ValueError, match="size"):
+            get_workload("compress").execute(rt, 7)
+
+    def test_scaled_helper(self):
+        assert scaled(100, 1) == 100
+        assert scaled(100, 10, growth=1.0) == 1000
+        assert scaled(100, 100, growth=0.5) == 1000
+        assert scaled(100, 10, growth=0.0) == 100
+
+
+# Paper small-run shape targets: (collectable%, static%, thread%), +-10 pts.
+PAPER_SMALL_SHAPES = {
+    "compress": (11, 89, 0),
+    "jess": (61, 39, 0),
+    "raytrace": (98, 2, 0),
+    "db": (36, 64, 0),
+    "javac": (24, 21, 55),
+    "mpegaudio": (7, 93, 0),
+    "mtrt": (98, 2, 0),
+    "jack": (89, 11, 0),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_SMALL_SHAPES))
+def test_small_run_shape_matches_paper(name):
+    _, census, total = census_run(name)
+    want_popped, want_static, want_thread = PAPER_SMALL_SHAPES[name]
+    got_popped = 100 * census["popped"] / total
+    got_static = 100 * census["static"] / total
+    got_thread = 100 * census["thread"] / total
+    assert abs(got_popped - want_popped) <= 10, (name, got_popped)
+    assert abs(got_static - want_static) <= 10, (name, got_static)
+    assert abs(got_thread - want_thread) <= 10, (name, got_thread)
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_SMALL_SHAPES))
+def test_census_conserves_population(name):
+    _, census, total = census_run(name)
+    assert census["popped"] + census["static"] + census["thread"] == total
+
+
+class TestOptGap:
+    """Fig 4.1: the static optimization's effect per benchmark."""
+
+    def collectable(self, name, static_opt):
+        policy = CGPolicy(static_opt=static_opt)
+        _, census, total = census_run(name, policy=policy)
+        return 100 * census["popped"] / total
+
+    def test_jess_has_large_gap(self):
+        gap = self.collectable("jess", True) - self.collectable("jess", False)
+        assert gap > 15  # paper: 61 - 35 = 26
+
+    def test_db_gap_roughly_doubles(self):
+        with_opt = self.collectable("db", True)
+        without = self.collectable("db", False)
+        assert with_opt > 1.5 * without  # paper: 36 vs 18
+
+    def test_raytrace_has_no_gap(self):
+        gap = self.collectable("raytrace", True) - self.collectable(
+            "raytrace", False
+        )
+        assert abs(gap) < 2  # paper: 98 vs 98
+
+    def test_jack_gap(self):
+        gap = self.collectable("jack", True) - self.collectable("jack", False)
+        assert 10 < gap < 35  # paper: 89 - 69 = 20
+
+
+class TestScaling:
+    def test_db_flips_collectable_at_large(self):
+        _, census1, total1 = census_run("db", 1)
+        _, census100, total100 = census_run("db", 100)
+        assert 100 * census1["popped"] / total1 < 50
+        assert 100 * census100["popped"] / total100 > 90  # paper: 99%
+
+    def test_compress_barely_grows(self):
+        _, _, total1 = census_run("compress", 1)
+        _, _, total100 = census_run("compress", 100)
+        assert total100 < 1.5 * total1  # paper: 5123 -> 6959
+
+    def test_javac_thread_share_shrinks_relatively(self):
+        _, census1, total1 = census_run("javac", 1)
+        _, census10, total10 = census_run("javac", 10)
+        assert census1["thread"] / total1 > census10["thread"] / total10
+
+    def test_jess_collectable_grows_with_size(self):
+        _, census1, total1 = census_run("jess", 1)
+        _, census10, total10 = census_run("jess", 10)
+        assert census10["popped"] / total10 > census1["popped"] / total1
+
+
+class TestCharacterDetail:
+    def test_db_has_no_exact_blocks(self):
+        rt, _, _ = census_run("db")
+        assert rt.collector.stats.exact_objects == 0  # chained results
+
+    def test_jack_mostly_dies_at_distance_one(self):
+        rt, _, _ = census_run("jack")
+        ages = rt.collector.stats.age_buckets()
+        assert ages["1"] > ages["0"]  # tokens returned one frame up
+
+    def test_raytrace_deaths_reach_past_five_frames(self):
+        rt, _, _ = census_run("raytrace")
+        ages = rt.collector.stats.age_buckets()
+        assert ages[">5"] > 0
+        total = sum(ages.values())
+        assert ages[">5"] / total > 0.15
+
+    def test_mtrt_shares_only_a_sliver(self):
+        _, census, total = census_run("mtrt")
+        assert 0 < census["thread"] <= 10  # paper: ~45 of 276k
+
+    def test_javac_interns_identifiers(self):
+        rt, _, _ = census_run("javac")
+        assert len(rt.intern_table) > 0
+        assert rt.collector.stats.objects_pinned["intern"] > 0
+
+    def test_mpegaudio_pins_native_state(self):
+        rt, _, _ = census_run("mpegaudio")
+        assert rt.collector.stats.objects_pinned["native"] == 3
+
+    def test_jess_blocks_are_mostly_small(self):
+        rt, _, _ = census_run("jess")
+        buckets = rt.collector.stats.block_size_buckets()
+        small = buckets["1"] + buckets["2"] + buckets["3"]
+        assert small > 0.9 * sum(buckets.values())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["jess", "raytrace", "javac"])
+    def test_same_seed_same_census(self, name):
+        _, census_a, total_a = census_run(name)
+        _, census_b, total_b = census_run(name)
+        assert census_a == census_b
+        assert total_a == total_b
+
+
+class TestSoundnessUnderPressure:
+    """Every workload must survive its own (tight) timing heap with the
+    paranoid reachability probe enabled — no unsound collection."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SMALL_SHAPES))
+    def test_paranoid_run(self, name):
+        wl = get_workload(name)
+        rt = Runtime(
+            RuntimeConfig(
+                heap_words=wl.heap_words(1),
+                cg=CGPolicy(paranoid=True),
+                tracing="marksweep",
+            )
+        )
+        wl.execute(rt, 1)
+        rt.check_cg_invariants()

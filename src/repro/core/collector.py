@@ -29,11 +29,14 @@ reset pass, driven by the tracing collector through the ``begin_reset`` /
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..jvm.errors import IllegalStateError
 from ..jvm.frames import Frame, StaticFrame
 from ..jvm.heap import Handle, Heap
+from ..obs.events import NULL_TRACER
+from ..obs.profile import NULL_PROFILER, PHASE_CG_EVENTS, PHASE_RECYCLE
 from .equilive import EquiliveBlock, EquiliveManager
 from .policy import CGPolicy
 from .recycle import RecycleList
@@ -62,18 +65,45 @@ class ContaminatedCollector:
     """Event-driven CG collector over a :class:`~repro.jvm.heap.Heap`."""
 
     def __init__(self, heap: Heap, static_frame: StaticFrame,
-                 policy: Optional[CGPolicy] = None) -> None:
+                 policy: Optional[CGPolicy] = None,
+                 tracer=None, profiler=None) -> None:
         self.heap = heap
         self.policy = policy or CGPolicy()
         self.static_frame = static_frame
         self.stats = CGStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Cached flag so disabled tracing costs one attribute test on the
+        #: (already expensive) event paths, never a method call.
+        self._trace = self.tracer.enabled
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.equilive = EquiliveManager(static_frame)
         self.recycle = RecycleList(
-            heap, self.stats, by_type=self.policy.recycle_by_type
+            heap, self.stats, by_type=self.policy.recycle_by_type,
+            tracer=self.tracer,
         )
         #: Optional oracle installed by the runtime for paranoid mode: given
         #: a list of handles CG is about to free, raise if any is reachable.
         self.reachability_probe: Optional[Callable[[List[Handle]], None]] = None
+        if self.profiler.enabled:
+            # Shadow the hot event handlers with timing wrappers only when
+            # profiling is on; the disabled configuration keeps the plain
+            # bound methods and pays nothing.
+            self.on_store = self._timed(self.on_store, PHASE_CG_EVENTS)
+            self.on_areturn = self._timed(self.on_areturn, PHASE_CG_EVENTS)
+            self.on_putstatic = self._timed(self.on_putstatic, PHASE_CG_EVENTS)
+            self.take_recycled = self._timed(self.take_recycled, PHASE_RECYCLE)
+
+    def _timed(self, method, phase: str):
+        profiler = self.profiler
+
+        def wrapper(*args, **kwargs):
+            started = perf_counter()
+            try:
+                return method(*args, **kwargs)
+            finally:
+                profiler.add(phase, perf_counter() - started)
+
+        return wrapper
 
     # ------------------------------------------------------------------
     # Mutator events
@@ -83,6 +113,12 @@ class ContaminatedCollector:
         """A new object is associated with the currently active frame."""
         self.stats.objects_created += 1
         block = self.equilive.create(handle, frame)
+        if self._trace:
+            self.tracer.emit(
+                "new", handle=handle.id, cls=handle.cls.name,
+                size=handle.size, depth=frame.depth,
+                thread=handle.alloc_thread,
+            )
         if frame is self.static_frame:
             # Allocated outside any method (class loading, interpreter
             # internals): immediately static, per section 3.2.
@@ -128,6 +164,11 @@ class ContaminatedCollector:
         if block.is_static:
             return
         if caller.is_older_than(block.frame):
+            if self._trace:
+                self.tracer.emit(
+                    "promote", handle=value.id,
+                    from_depth=block.frame.depth, to_depth=caller.depth,
+                )
             self.equilive.move_to_frame(block, caller)
 
     def on_access(self, handle: Handle, thread_id: int) -> None:
@@ -154,6 +195,11 @@ class ContaminatedCollector:
         """
         self.stats.frame_pops += 1
         if not frame.cg_blocks:
+            if self._trace:
+                self.tracer.emit(
+                    "frame_pop", frame=frame.frame_id, depth=frame.depth,
+                    blocks=0, freed=0,
+                )
             return 0
         freed = 0
         recycling = self.policy.recycling
@@ -168,6 +214,11 @@ class ContaminatedCollector:
                 self.reachability_probe(live)
             self.stats.blocks_collected += 1
             self.stats.block_size_hist[len(live)] += 1
+            if self._trace:
+                self.tracer.emit(
+                    "block_collect", frame=frame.frame_id, depth=frame.depth,
+                    size=len(live), exact=not block.ever_unioned,
+                )
             if not block.ever_unioned:
                 self.stats.exact_blocks += 1
                 self.stats.exact_objects += len(live)
@@ -181,6 +232,11 @@ class ContaminatedCollector:
             if recycling:
                 self.recycle.park(live)
         self.stats.objects_popped += freed
+        if self._trace:
+            self.tracer.emit(
+                "frame_pop", frame=frame.frame_id, depth=frame.depth,
+                blocks=len(blocks), freed=freed,
+            )
         return freed
 
     # ------------------------------------------------------------------
@@ -265,6 +321,11 @@ class ContaminatedCollector:
                 elif not was_static and not now_static and depth_now > depth_before:
                     improved += 1
         self.stats.less_live += improved
+        if self._trace:
+            self.tracer.emit(
+                "reset_pass", improved=improved,
+                blocks=self.equilive.block_count(),
+            )
         return improved
 
     # ------------------------------------------------------------------
@@ -280,6 +341,11 @@ class ContaminatedCollector:
         self._pin_block(block, cause)
 
     def _pin_block(self, block: EquiliveBlock, cause: str) -> None:
+        if self._trace:
+            self.tracer.emit(
+                "pin", handle=block.members[0].id, cause=cause,
+                members=len(block.members), from_depth=block.frame.depth,
+            )
         self._stamp_members(block, cause)
         block.static_cause = cause
         self.equilive.pin_static(block, cause)
@@ -313,6 +379,13 @@ class ContaminatedCollector:
             target = self.static_frame
         else:
             target = ba.frame if ba.frame.is_older_than(bb.frame) else bb.frame
+        if self._trace:
+            self.tracer.emit(
+                "union", a=ba.members[0].id, b=bb.members[0].id,
+                sizes=[len(ba.members), len(bb.members)],
+                target_depth=target.depth,
+                static=target is self.static_frame,
+            )
         merged = self.equilive.merge(ba, bb, target)
         self.stats.contaminations += 1
         return merged

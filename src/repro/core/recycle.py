@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..jvm.heap import Handle, Heap
 from ..jvm.model import JClass
+from ..obs.events import NULL_TRACER
 from .stats import CGStats
 
 
@@ -40,9 +41,12 @@ class RecycleList:
       fallback for never-seen shapes.
     """
 
-    def __init__(self, heap: Heap, stats: CGStats, by_type: bool = False) -> None:
+    def __init__(self, heap: Heap, stats: CGStats, by_type: bool = False,
+                 tracer=None) -> None:
         self._heap = heap
         self._stats = stats
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self._tracer.enabled
         self.by_type = by_type
         self._dead: List[Handle] = []
         #: (class name, size) -> stack of dead handles (typed mode only).
@@ -80,6 +84,11 @@ class RecycleList:
                 handle = bucket.pop()
                 self._remove_from_dead(handle)
                 self._parked_words -= handle.size
+                if self._trace:
+                    self._tracer.emit(
+                        "recycle_hit", size=size, donor=handle.id,
+                        donor_size=handle.size, typed=True, steps=1,
+                    )
                 return handle
         dead = self._dead
         for i, handle in enumerate(dead):
@@ -90,8 +99,15 @@ class RecycleList:
                 self._parked_words -= handle.size
                 if self.by_type:
                     self._remove_from_bucket(handle)
+                if self._trace:
+                    self._tracer.emit(
+                        "recycle_hit", size=size, donor=handle.id,
+                        donor_size=handle.size, typed=False, steps=i + 1,
+                    )
                 return handle
         self._stats.recycle_misses += 1
+        if self._trace:
+            self._tracer.emit("recycle_miss", size=size, scanned=len(dead))
         return None
 
     def flush(self) -> int:

@@ -6,20 +6,55 @@ Usage::
     python -m repro.harness.cli --all           # everything (slow: large runs)
     python -m repro.harness.cli --small         # everything size-1 only
     python -m repro.harness.cli --list
+
+Observability::
+
+    python -m repro.harness.cli --trace out.jsonl 4.1   # trace the runs
+    python -m repro.harness.cli trace-summary out.jsonl # recount from trace
+    python -m repro.harness.cli --metrics out.json 4.1  # per-run metrics
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from ..obs.events import Tracer, read_trace, summarize, tracing_to, write_trace
+from . import figures as figures_mod
 from .figures import ALL_FIGURES
 
 SMALL_FIGURES = ["4.1", "4.2", "4.5", "4.6", "4.7", "4.11", "4.12", "4.13",
                  "A.1", "A.2"]
 
 
+def trace_summary_main(argv) -> int:
+    """``trace-summary PATH``: recompute a run's counters from its trace."""
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli trace-summary",
+        description="Summarize a JSONL event trace written by --trace.",
+    )
+    parser.add_argument("path", help="trace file (JSONL)")
+    args = parser.parse_args(argv)
+    try:
+        meta, events = read_trace(args.path)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"not a JSONL event trace: {args.path} ({exc})", file=sys.stderr)
+        return 2
+    complete = int(meta.get("dropped", 0)) == 0
+    summary = summarize(events, complete=complete)
+    print(summary.render())
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace-summary":
+        return trace_summary_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
         description="Regenerate tables/figures from 'Contaminated Garbage Collection'.",
@@ -30,6 +65,18 @@ def main(argv=None) -> int:
         "--small", action="store_true", help="all size-1 figures (fast)"
     )
     parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record collector/VM events during the runs and write JSONL",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=None, metavar="N",
+        help="ring-buffer capacity for --trace (default ~1M events)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="write one metrics record per executed run as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -51,11 +98,59 @@ def main(argv=None) -> int:
         print(f"unknown figure id(s): {unknown}; use --list", file=sys.stderr)
         return 2
 
-    for fig_id in wanted:
-        print(ALL_FIGURES[fig_id]())
-        print()
+    tracer = None
+    if args.trace:
+        tracer = (
+            Tracer(args.trace_capacity) if args.trace_capacity else Tracer()
+        )
+
+    def generate() -> None:
+        for fig_id in wanted:
+            print(ALL_FIGURES[fig_id]())
+            print()
+
+    if tracer is not None:
+        with tracing_to(tracer):
+            generate()
+        written = write_trace(args.trace, tracer)
+        status = "complete" if tracer.complete else (
+            f"ring overflowed, {tracer.dropped} oldest events dropped"
+        )
+        print(
+            f"[trace] {written} events -> {args.trace} ({status})",
+            file=sys.stderr,
+        )
+    else:
+        generate()
+
+    if args.metrics:
+        records = [
+            {
+                "workload": result.workload,
+                "size": result.size,
+                "system": result.system,
+                "heap_words": result.heap_words,
+                "wall_seconds": result.wall_seconds,
+                "metrics": result.metrics,
+            }
+            for result in figures_mod.cached_results()
+        ]
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"[metrics] {len(records)} run records -> {args.metrics}",
+            file=sys.stderr,
+        )
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:  # e.g. `... trace-summary f | head`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

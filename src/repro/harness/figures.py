@@ -52,6 +52,16 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def cached_results() -> List[RunResult]:
+    """Every run executed (and cached) so far, in execution order.
+
+    The CLI's ``--metrics`` export reads from here: one record per
+    (workload, size, system) cell that generating the requested figures
+    actually ran.
+    """
+    return list(_CACHE.values())
+
+
 # ---------------------------------------------------------------------------
 # Figure 4.1 — collectable objects, without and with the optimization
 # ---------------------------------------------------------------------------

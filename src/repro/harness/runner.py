@@ -31,6 +31,8 @@ from ..core.policy import CGPolicy
 from ..core.stats import CGStats
 from ..gc.base import GCWork
 from ..jvm.runtime import Runtime, RuntimeConfig
+from ..obs.events import get_active_tracer
+from ..obs.metrics import collect_runtime_metrics
 from ..workloads.base import Workload, get_workload
 from .costmodel import CostBreakdown, cost_of
 
@@ -108,6 +110,10 @@ class RunResult:
     alloc_search_steps: int
     peak_live_words: int
     heap_words: int
+    #: Unified observability snapshot (``MetricsRegistry.to_dict()``):
+    #: counters/gauges/histograms covering CG stats, heap occupancy,
+    #: allocator work, tracing-GC work, and (when enabled) phase timings.
+    metrics: Dict[str, Dict] = field(default_factory=dict)
 
     # --- derived metrics used across figures -----------------------------
 
@@ -147,11 +153,21 @@ def run_workload(
     heap_words: Optional[int] = None,
     gc_period_ops: Optional[int] = None,
     seed: int = 2000,
+    tracer=None,
+    profile: bool = False,
 ) -> RunResult:
-    """Execute one (workload, size, system) cell and gather its results."""
+    """Execute one (workload, size, system) cell and gather its results.
+
+    ``tracer`` installs an event sink for the run; when omitted, the
+    ambient tracer from :func:`repro.obs.tracing_to` (if any) is used, so
+    figure generators can be traced without new plumbing.  ``profile``
+    turns on the perf_counter phase timers.
+    """
     wl = get_workload(workload, seed) if isinstance(workload, str) else workload
     heap = heap_words if heap_words is not None else wl.heap_words(size)
     config = config_for(system, heap, gc_period_ops)
+    config.tracer = tracer if tracer is not None else get_active_tracer()
+    config.profile = profile
     runtime = Runtime(config)
     started = time.perf_counter()
     wl.execute(runtime, size)
@@ -176,6 +192,8 @@ def run_workload(
         recycled = 0
     runtime.heap.check_accounting(recycled)
 
+    registry = collect_runtime_metrics(runtime)
+    snapshot = registry.snapshot()
     return RunResult(
         workload=wl.name,
         size=size,
@@ -186,8 +204,9 @@ def run_workload(
         gc_work=runtime.tracing.work,
         cost=cost_of(runtime),
         wall_seconds=wall,
-        ops=runtime.ops,
-        alloc_search_steps=runtime.heap.free_list.search_steps,
-        peak_live_words=runtime.heap.peak_live_words,
+        ops=int(snapshot["vm.ops"]),
+        alloc_search_steps=int(snapshot["alloc.search_steps"]),
+        peak_live_words=int(snapshot["heap.peak_live_words"]),
         heap_words=heap,
+        metrics=registry.to_dict(),
     )

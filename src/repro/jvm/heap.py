@@ -365,6 +365,27 @@ class Heap:
         """Accounted size of the handle region for the live object count."""
         return self.live_count() * self.handle_words
 
+    def occupancy(self) -> Dict[str, float]:
+        """Instantaneous heap gauges for the metrics registry.
+
+        ``occupancy`` is the live fraction of object space; ``fragmentation``
+        is 1 - (largest free block / free words) — 0 when the free space is
+        one contiguous block, approaching 1 as it shatters.
+        """
+        free_words = self.free_list.free_words
+        largest = self.free_list.largest_block
+        return {
+            "capacity_words": float(self.capacity),
+            "live_words": float(self.live_words),
+            "peak_live_words": float(self.peak_live_words),
+            "free_words": float(free_words),
+            "largest_free_block": float(largest),
+            "live_objects": float(self.live_count()),
+            "handle_region_words": float(self.handle_region_words()),
+            "occupancy": self.live_words / self.capacity if self.capacity else 0.0,
+            "fragmentation": 1.0 - largest / free_words if free_words else 0.0,
+        }
+
     def compact(self) -> int:
         """Slide all live objects to the heap base; returns objects moved.
 

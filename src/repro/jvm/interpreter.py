@@ -16,8 +16,10 @@ callee runs synchronously on the same thread via :meth:`call_sync`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from ..obs.profile import PHASE_INTERPRET
 from . import bytecode as bc
 from .errors import NullPointerError, VerifyError, VMError
 from .heap import Handle
@@ -141,6 +143,13 @@ class Interpreter:
         runtime = self.runtime
         executed = 0
         frames = thread.stack.frames
+        profiler = runtime.profiler
+        if profiler.enabled:
+            # One clock pair per quantum, attributed to the entry depth —
+            # the per-depth profile is a poor man's flamegraph over the
+            # shadow stack at quantum resolution, not per instruction.
+            profile_started = perf_counter()
+            profile_depth = len(frames)
         while executed < budget and len(frames) > stop_depth:
             frame = frames[-1]
             method = frame.method
@@ -350,6 +359,10 @@ class Interpreter:
             else:  # pragma: no cover - assembler can't emit unknown ops
                 raise VerifyError(f"unknown opcode {op}")
         self.instructions_executed += executed
+        if profiler.enabled:
+            elapsed = perf_counter() - profile_started
+            profiler.add(PHASE_INTERPRET, elapsed)
+            profiler.charge_depth(profile_depth, elapsed)
         return executed
 
     # ------------------------------------------------------------------

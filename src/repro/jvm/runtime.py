@@ -18,7 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
 
+from time import perf_counter
+
 from ..core.policy import CGPolicy
+from ..obs.events import NULL_TRACER
+from ..obs.profile import NULL_PROFILER, PHASE_MSA, PhaseProfiler
 from .errors import IllegalStateError, OutOfMemoryError, VMError
 from .frames import Frame, FrameIdSource, StaticFrame
 from .heap import Handle, Heap
@@ -47,6 +51,12 @@ class RuntimeConfig:
     gc_period_ops: Optional[int] = None
     #: Scheduler quantum, in instructions.
     quantum: int = 100
+    #: Event sink for the observability layer (:mod:`repro.obs`).  None
+    #: installs the zero-overhead NullTracer.
+    tracer: Optional[object] = None
+    #: Collect perf_counter phase timings (interpret / cg-events / msa /
+    #: recycle-search) and the per-frame-depth time profile.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.tracing not in TRACING_CHOICES:
@@ -68,6 +78,10 @@ class Runtime:
             self.config.cg.handle_words if self.config.cg.enabled else 2
         )
         self.heap = Heap(self.config.heap_words, handle_words=handle_words)
+        self.tracer = (
+            self.config.tracer if self.config.tracer is not None else NULL_TRACER
+        )
+        self.profiler = PhaseProfiler() if self.config.profile else NULL_PROFILER
         self.static_frame = StaticFrame()
         self.frame_ids = FrameIdSource()
         self.scheduler = Scheduler(self.config.quantum)
@@ -83,7 +97,8 @@ class Runtime:
         self.collector: Optional["ContaminatedCollector"] = None
         if self.config.cg.enabled:
             self.collector = ContaminatedCollector(
-                self.heap, self.static_frame, self.config.cg
+                self.heap, self.static_frame, self.config.cg,
+                tracer=self.tracer, profiler=self.profiler,
             )
             if self.config.cg.paranoid:
                 self.collector.reachability_probe = self._assert_unreachable
@@ -192,7 +207,7 @@ class Runtime:
                     length=length,
                 )
         if handle is None:
-            self.tracing.collect()
+            self.run_gc()
             handle = self.heap.allocate(
                 cls, thread.thread_id, birth_frame_id, birth_depth, length=length
             )
@@ -323,7 +338,34 @@ class Runtime:
         period = self.config.gc_period_ops
         if period is not None and self.ops - self._last_periodic_gc >= period:
             self._last_periodic_gc = self.ops
-            self.tracing.collect()
+            self.run_gc()
+
+    def run_gc(self) -> int:
+        """Run the tracing collector with observability around it.
+
+        All collection entry points (allocation failure and the periodic
+        trigger) funnel through here so ``gc_start``/``gc_end`` events and
+        the ``msa`` phase timer see every cycle.
+        """
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "gc_start",
+                collector=getattr(self.tracing, "name", self.config.tracing),
+                cycle=self.tracing.work.cycles + 1,
+                ops=self.ops, live=self.heap.live_count(),
+            )
+        if self.profiler.enabled:
+            started = perf_counter()
+            reclaimed = self.tracing.collect()
+            self.profiler.add(PHASE_MSA, perf_counter() - started)
+        else:
+            reclaimed = self.tracing.collect()
+        if tracer.enabled:
+            tracer.emit(
+                "gc_end", reclaimed=reclaimed, live=self.heap.live_count(),
+            )
+        return reclaimed
 
     # ------------------------------------------------------------------
     # Roots

@@ -1,0 +1,56 @@
+"""repro.obs — observability for the CG runtime.
+
+Three independent layers, each a no-op unless explicitly enabled:
+
+* :mod:`repro.obs.events` — a bounded ring-buffer :class:`Tracer` the
+  collector and VM emit typed events into (``new``, ``union``, ``promote``,
+  ``pin``, ``frame_pop``, ``block_collect``, ``reset_pass``,
+  ``recycle_hit``/``recycle_miss``, ``gc_start``/``gc_end``), with JSONL
+  export, reload, and a :func:`summarize` that recomputes a run's headline
+  counters from the event stream alone.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters, gauges
+  and histograms unifying ``CGStats``, heap occupancy, and tracing-GC work
+  into one snapshot/delta-able view with ``to_dict()``/JSONL emission.
+* :mod:`repro.obs.profile` — ``perf_counter``-based phase timers
+  (interpret, cg-events, msa, recycle-search) plus a per-frame-depth time
+  profile (a poor man's flamegraph over the shadow stack).
+
+The default wiring installs :data:`NULL_TRACER` and :data:`NULL_PROFILER`,
+whose ``enabled`` flag is ``False``; every hook in the hot paths guards on
+that flag, so observability-off costs one attribute test, not a call.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    TraceSummary,
+    read_trace,
+    summarize,
+    tracing_to,
+    get_active_tracer,
+    write_trace,
+)
+from .metrics import MetricsRegistry, collect_runtime_metrics
+from .profile import NULL_PROFILER, NullProfiler, PhaseProfiler
+
+__all__ = [
+    "EVENT_KINDS",
+    "MetricsRegistry",
+    "NULL_PROFILER",
+    "NULL_TRACER",
+    "NullProfiler",
+    "NullTracer",
+    "PhaseProfiler",
+    "TraceEvent",
+    "Tracer",
+    "TraceSummary",
+    "collect_runtime_metrics",
+    "get_active_tracer",
+    "read_trace",
+    "summarize",
+    "tracing_to",
+    "write_trace",
+]

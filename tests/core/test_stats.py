@@ -1,6 +1,9 @@
 """Unit tests for the statistics module (bucketing and fractions)."""
 
+from repro import Mutator
 from repro.core.stats import CGStats
+
+from tests.conftest import make_runtime
 
 
 class TestFractions:
@@ -44,6 +47,48 @@ class TestAgeBuckets:
         buckets = stats.age_buckets()
         assert sum(buckets.values()) == sum(stats.age_hist.values())
 
+    def test_distance_five_is_not_overflow(self):
+        stats = CGStats()
+        stats.age_hist[5] = 9
+        buckets = stats.age_buckets()
+        assert buckets["5"] == 9
+        assert buckets[">5"] == 0
+
+    def test_distance_six_is_overflow_only(self):
+        stats = CGStats()
+        stats.age_hist[6] = 4
+        buckets = stats.age_buckets()
+        assert buckets["5"] == 0
+        assert buckets[">5"] == 4
+
+    def test_distance_zero_counts_same_frame_deaths(self):
+        stats = CGStats()
+        stats.age_hist[0] = 11
+        assert stats.age_buckets()["0"] == 11
+
+    def test_real_run_age_buckets_match_popped(self):
+        """End to end: bucket totals equal the objects CG actually popped."""
+        rt = make_runtime()
+        m = Mutator(rt)
+        with m.frame():
+            keeper = m.new("Node")
+            m.set_local(0, keeper)
+            # Depth-6 chain: the innermost allocation is contaminated up to
+            # the outermost frame, landing in the distance-5 bucket.
+            def nest(depth):
+                with m.frame():
+                    if depth < 5:
+                        nest(depth + 1)
+                    else:
+                        victim = m.new("Node")
+                        m.putfield(keeper, "next", victim)
+                        m.root(victim)
+            nest(1)
+        stats = rt.collector.stats
+        buckets = stats.age_buckets()
+        assert sum(buckets.values()) == stats.objects_popped
+        assert buckets["5"] >= 1
+
 
 class TestBlockSizeBuckets:
     def test_boundaries(self):
@@ -62,6 +107,43 @@ class TestBlockSizeBuckets:
             stats.block_size_hist[size] = 2
         buckets = stats.block_size_buckets()
         assert sum(buckets.values()) == 58
+
+    def test_size_five_stays_exact_six_spills(self):
+        stats = CGStats()
+        stats.block_size_hist[5] = 2
+        stats.block_size_hist[6] = 3
+        buckets = stats.block_size_buckets()
+        assert buckets["5"] == 2
+        assert buckets["6-10"] == 3
+        assert buckets[">10"] == 0
+
+    def test_size_ten_in_mid_bucket_eleven_overflows(self):
+        stats = CGStats()
+        stats.block_size_hist[10] = 5
+        stats.block_size_hist[11] = 7
+        buckets = stats.block_size_buckets()
+        assert buckets["6-10"] == 5
+        assert buckets[">10"] == 7
+
+    def test_real_run_block_sizes_match_blocks_collected(self):
+        """End to end: bucket totals equal the blocks CG collected."""
+        rt = make_runtime()
+        m = Mutator(rt)
+        with m.frame():
+            # One 6-member block (5 unions) and one singleton block.
+            head = m.new("Node")
+            m.root(head)
+            for _ in range(5):
+                node = m.new("Node")
+                m.putfield(node, "next", head)
+                m.root(node)
+                head = node
+            m.root(m.new("Pair"))
+        stats = rt.collector.stats
+        buckets = stats.block_size_buckets()
+        assert sum(buckets.values()) == stats.blocks_collected
+        assert buckets["1"] == 1
+        assert buckets["6-10"] == 1
 
 
 class TestCounters:

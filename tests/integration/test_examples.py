@@ -43,6 +43,13 @@ def test_bytecode_program():
     assert "census matches the hand count: OK" in out
 
 
+def test_trace_walkthrough(tmp_path):
+    out = run_example("trace_walkthrough.py", str(tmp_path / "trace.jsonl"))
+    assert "trace and live counters agree exactly" in out
+    assert "contaminated: blocks of" in out
+    assert "MISMATCH" not in out
+
+
 @pytest.mark.parametrize("workload", ["jack", "compress"])
 def test_collector_shootout(workload):
     out = run_example("collector_shootout.py", workload, "1")

@@ -1,0 +1,199 @@
+"""Tracer behaviour: ring bounds, JSONL round trips, and live-run parity."""
+
+from repro import CGPolicy, Mutator, Runtime, RuntimeConfig
+from repro.obs import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    read_trace,
+    summarize,
+    write_trace,
+)
+from tests.conftest import define_test_classes
+
+
+def traced_runtime(tracer, **config_kw):
+    config = RuntimeConfig(
+        heap_words=config_kw.pop("heap_words", 1 << 14),
+        cg=config_kw.pop("cg", CGPolicy(paranoid=True)),
+        tracing=config_kw.pop("tracing", "marksweep"),
+        tracer=tracer,
+        **config_kw,
+    )
+    runtime = Runtime(config)
+    define_test_classes(runtime.program)
+    return runtime
+
+
+class TestRingBuffer:
+    def test_overflow_keeps_newest_events(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.emit("new", handle=i)
+        assert len(tracer) == 4
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+        assert not tracer.complete
+        kept = [event.data["handle"] for event in tracer]
+        assert kept == [6, 7, 8, 9]
+        # Sequence numbers are global, so truncation is visible.
+        assert [event.seq for event in tracer] == [6, 7, 8, 9]
+
+    def test_no_overflow_is_complete(self):
+        tracer = Tracer(capacity=8)
+        for i in range(8):
+            tracer.emit("new", handle=i)
+        assert tracer.complete
+        assert tracer.dropped == 0
+
+    def test_clear_resets_counts(self):
+        tracer = Tracer(capacity=2)
+        tracer.emit("new")
+        tracer.emit("new")
+        tracer.emit("new")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emitted == 0
+        assert tracer.complete
+
+
+class TestNullTracer:
+    def test_emits_nothing(self):
+        tracer = NullTracer()
+        tracer.emit("new", handle=1)
+        tracer.emit("union", a=1, b=2)
+        assert len(tracer) == 0
+        assert list(tracer) == []
+        assert tracer.emitted == 0
+        assert tracer.kind_counts() == {}
+
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_default_runtime_uses_null_tracer(self):
+        runtime = Runtime(RuntimeConfig(heap_words=1 << 12))
+        assert runtime.tracer is NULL_TRACER
+        assert runtime.collector.tracer is NULL_TRACER
+
+
+class TestJsonlRoundTrip:
+    def test_lossless_round_trip(self, tmp_path):
+        tracer = Tracer(capacity=64)
+        tracer.emit("new", handle=1, cls="Node", size=4, depth=0, thread=0)
+        tracer.emit("union", a=1, b=2, sizes=[1, 1], target_depth=0,
+                    static=False)
+        tracer.emit("pin", handle=1, cause="putstatic", members=2,
+                    from_depth=0)
+        path = str(tmp_path / "trace.jsonl")
+        written = write_trace(path, tracer)
+        assert written == 3
+        meta, events = read_trace(path)
+        assert meta["emitted"] == 3
+        assert meta["dropped"] == 0
+        assert events == list(tracer)
+
+    def test_meta_records_truncation(self, tmp_path):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit("new", handle=i)
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, tracer)
+        meta, events = read_trace(path)
+        assert meta["dropped"] == 3
+        assert [e.seq for e in events] == [3, 4]
+
+    def test_headerless_trace_is_accepted(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        path.write_text('{"seq": 0, "kind": "new", "handle": 7}\n')
+        meta, events = read_trace(str(path))
+        assert meta["dropped"] == 0
+        assert events == [TraceEvent(0, "new", {"handle": 7})]
+
+
+class TestLiveRunParity:
+    """The acceptance bar: the trace alone reproduces the run's counters."""
+
+    def run_busy_program(self, tracer):
+        runtime = traced_runtime(
+            tracer, heap_words=420,
+            cg=CGPolicy(recycling=True, resetting=True, paranoid=True),
+            gc_period_ops=400,
+        )
+        m = Mutator(runtime)
+        with m.frame():
+            keeper = m.new("Node")
+            m.set_local(0, keeper)
+            with m.frame():
+                victim = m.new("Node")
+                m.putfield(keeper, "next", victim)
+                m.root(victim)
+            with m.frame():
+                m.areturn(m.new("Node"))
+            m.putstatic("pin", m.new("Node"))
+            for _ in range(120):
+                with m.frame():
+                    a = m.new("Node")
+                    b = m.new("Node")
+                    m.putfield(a, "next", b)
+                    m.root(a)
+                    m.root(b)
+            with m.frame():
+                m.root(m.new_array(96))  # recycle first-fit must miss
+            m.putfield(keeper, "next", None)
+        return runtime
+
+    def test_summary_matches_live_counters_exactly(self):
+        tracer = Tracer(capacity=1 << 16)
+        runtime = self.run_busy_program(tracer)
+        assert tracer.complete
+        stats = runtime.collector.stats
+        summary = summarize(tracer)
+        assert summary.objects_popped == stats.objects_popped
+        assert summary.contaminations == stats.contaminations
+        assert summary.objects_created == stats.objects_created
+        assert summary.frame_pops == stats.frame_pops
+        assert summary.blocks_collected == stats.blocks_collected
+        assert summary.reset_passes == stats.reset_passes
+        assert summary.recycle_hits == stats.objects_recycled
+        assert summary.recycle_misses == stats.recycle_misses
+        assert summary.gc_cycles == runtime.tracing.work.cycles
+
+    def test_all_event_kinds_captured(self):
+        tracer = Tracer(capacity=1 << 16)
+        self.run_busy_program(tracer)
+        seen = set(tracer.kind_counts())
+        assert seen == set(EVENT_KINDS)
+
+    def test_parity_survives_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer(capacity=1 << 16)
+        runtime = self.run_busy_program(tracer)
+        path = str(tmp_path / "run.jsonl")
+        write_trace(path, tracer)
+        meta, events = read_trace(path)
+        summary = summarize(events, complete=meta["dropped"] == 0)
+        assert summary.complete
+        stats = runtime.collector.stats
+        assert summary.objects_popped == stats.objects_popped
+        assert summary.contaminations == stats.contaminations
+
+    def test_tracing_does_not_change_collection(self):
+        quiet = self.run_busy_program(NULL_TRACER)
+        traced = self.run_busy_program(Tracer(capacity=1 << 16))
+        a, b = quiet.collector.stats, traced.collector.stats
+        assert a.objects_popped == b.objects_popped
+        assert a.contaminations == b.contaminations
+        assert a.objects_created == b.objects_created
+
+
+class TestSummaryRendering:
+    def test_render_mentions_incomplete_trace(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit("frame_pop", frame=i, depth=0, blocks=0, freed=2)
+        summary = summarize(tracer, complete=tracer.complete)
+        text = summary.render()
+        assert "INCOMPLETE" in text
+        assert summary.objects_popped == 4  # only the surviving events

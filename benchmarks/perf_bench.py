@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark entry point (wrapper over ``repro.harness.bench``).
+
+Regenerate the committed baseline from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_bench.py --out BENCH_3.json
+
+CI runs the quick variant and gates on the committed baseline::
+
+    PYTHONPATH=src python -m repro bench --small --check BENCH_3.json
+"""
+
+import sys
+
+from repro.harness.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

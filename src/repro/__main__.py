@@ -1,0 +1,23 @@
+"""``python -m repro`` — figure CLI plus the ``bench`` subcommand.
+
+``python -m repro 4.1 4.5`` regenerates figures (same interface as
+``python -m repro.harness.cli``); ``python -m repro bench ...`` runs the
+wall-clock benchmark harness (see :mod:`repro.harness.bench`).
+"""
+
+import sys
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from .harness.bench import main as bench_main
+
+        return bench_main(argv[1:])
+    from .harness.cli import main as cli_main
+
+    return cli_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

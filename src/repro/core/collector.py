@@ -93,6 +93,19 @@ class ContaminatedCollector:
             self.on_putstatic = self._timed(self.on_putstatic, PHASE_CG_EVENTS)
             self.take_recycled = self._timed(self.take_recycled, PHASE_RECYCLE)
 
+    def set_tracer(self, tracer) -> None:
+        """Install (or replace) the event tracer after construction.
+
+        The collector caches ``tracer.enabled`` in ``_trace`` at
+        construction time for event-path speed, so assigning
+        ``collector.tracer`` directly would leave the cached flag stale
+        and silently drop events.  This is the supported way to attach a
+        tracer late; it refreshes the cache here and in the recycle list.
+        """
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
+        self.recycle.set_tracer(self.tracer)
+
     def _timed(self, method, phase: str):
         profiler = self.profiler
 
@@ -112,7 +125,21 @@ class ContaminatedCollector:
     def on_alloc(self, handle: Handle, frame: Frame) -> EquiliveBlock:
         """A new object is associated with the currently active frame."""
         self.stats.objects_created += 1
-        block = self.equilive.create(handle, frame)
+        # Inline of equilive.create(): this runs once per allocation.
+        equilive = self.equilive
+        ds = equilive.ds
+        parent = ds._parent
+        hid = handle.id
+        n = len(parent)
+        if hid >= n:
+            parent[n:] = range(n, hid + 1)
+            ds._rank[n:] = [0] * (hid + 1 - n)
+        else:
+            parent[hid] = hid
+            ds._rank[hid] = 0
+        block = EquiliveBlock(handle, frame)
+        equilive._blocks[hid] = block
+        frame.cg_blocks[block] = None
         if self._trace:
             self.tracer.emit(
                 "new", handle=handle.id, cls=handle.cls.name,
@@ -130,10 +157,13 @@ class ContaminatedCollector:
         self.stats.store_events += 1
         if value is None:
             return
-        container.check_live()
-        value.check_live()
-        bc = self.equilive.block_of(container)
-        bv = self.equilive.block_of(value)
+        if container.freed:
+            container.check_live()
+        if value.freed:
+            value.check_live()
+        equilive = self.equilive
+        bc = equilive.block_of(container)
+        bv = equilive.block_of(value)
         if bc is bv:
             return
         if bv.is_static and not bc.is_static and self.policy.static_opt:
@@ -173,7 +203,8 @@ class ContaminatedCollector:
 
     def on_access(self, handle: Handle, thread_id: int) -> None:
         """Any heap access: detect sharing between threads (section 3.3)."""
-        handle.check_live()
+        if handle.freed:
+            handle.check_live()
         if handle.pinned_cause is not None:
             return  # already static; no further action can affect it
         if handle.alloc_thread != thread_id:
@@ -203,35 +234,37 @@ class ContaminatedCollector:
             return 0
         freed = 0
         recycling = self.policy.recycling
+        equilive = self.equilive
+        stats = self.stats
+        age_hist = stats.age_hist
+        depth = frame.depth
+        reclaim = self.heap.retire if recycling else self.heap.free
         blocks = list(frame.cg_blocks)
         for block in blocks:
-            live = list(block.live_members())
-            self.equilive.detach(block)
-            self.equilive.forget_members(block)
+            live = [h for h in block.members if not h.freed]
+            equilive.detach(block)
+            equilive.forget_members(block)
             if not live:
                 continue
             if self.policy.paranoid and self.reachability_probe is not None:
                 self.reachability_probe(live)
-            self.stats.blocks_collected += 1
-            self.stats.block_size_hist[len(live)] += 1
+            stats.blocks_collected += 1
+            stats.block_size_hist[len(live)] += 1
             if self._trace:
                 self.tracer.emit(
-                    "block_collect", frame=frame.frame_id, depth=frame.depth,
+                    "block_collect", frame=frame.frame_id, depth=depth,
                     size=len(live), exact=not block.ever_unioned,
                 )
             if not block.ever_unioned:
-                self.stats.exact_blocks += 1
-                self.stats.exact_objects += len(live)
+                stats.exact_blocks += 1
+                stats.exact_objects += len(live)
             for handle in live:
-                self.stats.age_hist[handle.birth_depth - frame.depth] += 1
-                if recycling:
-                    self.heap.retire(handle, "contaminated-gc")
-                else:
-                    self.heap.free(handle, "contaminated-gc")
+                age_hist[handle.birth_depth - depth] += 1
+                reclaim(handle, "contaminated-gc")
                 freed += 1
             if recycling:
                 self.recycle.park(live)
-        self.stats.objects_popped += freed
+        stats.objects_popped += freed
         if self._trace:
             self.tracer.emit(
                 "frame_pop", frame=frame.frame_id, depth=frame.depth,

@@ -75,28 +75,45 @@ class EquiliveManager:
 
     def create(self, handle: Handle, frame: Frame) -> EquiliveBlock:
         """Make a fresh singleton block for a newly allocated object."""
-        self.ds.ensure(handle.id)
-        self.ds.reset(handle.id)
+        hid = handle.id
+        # Inline of ds.ensure_singleton(): one call saved per allocation.
+        ds = self.ds
+        parent = ds._parent
+        n = len(parent)
+        if hid >= n:
+            parent[n:] = range(n, hid + 1)
+            ds._rank[n:] = [0] * (hid + 1 - n)
+        else:
+            parent[hid] = hid
+            ds._rank[hid] = 0
         block = EquiliveBlock(handle, frame)
-        self._blocks[handle.id] = block
+        self._blocks[hid] = block
         frame.cg_blocks[block] = None
-        if frame is self.static_frame:
-            # Allocation with no real frame in scope is pinned immediately;
-            # the collector stamps the cause.
-            pass
         return block
 
     def block_of(self, handle: Handle) -> EquiliveBlock:
-        if handle.id not in self.ds:
+        ds = self.ds
+        hid = handle.id
+        # Inline of ``hid in ds``: this runs twice per store event.
+        if not 0 <= hid < len(ds._parent):
             raise IllegalStateError(
-                f"object #{handle.id} has no equilive block (never tracked)"
+                f"object #{hid} has no equilive block (never tracked)"
             )
-        root = self.ds.find(handle.id)
+        # Inline of ds.find() (same counter discipline): saves a call on
+        # the path every contamination event takes twice.
+        ds.finds += 1
+        parent = ds._parent
+        root = hid
+        while parent[root] != root:
+            root = parent[root]
+        node = hid
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
         try:
             return self._blocks[root]
         except KeyError:
             raise IllegalStateError(
-                f"object #{handle.id} has no equilive block (freed or untracked)"
+                f"object #{hid} has no equilive block (freed or untracked)"
             ) from None
 
     def has_block(self, handle: Handle) -> bool:
@@ -124,9 +141,33 @@ class EquiliveManager:
         """
         if a is b:
             raise IllegalStateError("merge of a block with itself")
-        ra = self.ds.find(a.members[0].id)
-        rb = self.ds.find(b.members[0].id)
-        root = self.ds.union(ra, rb)
+        ds = self.ds
+        parent = ds._parent
+        # Inline of ds.find() on both representatives plus ds.union() — the
+        # counter discipline is preserved exactly: two finds here, and union
+        # itself charges two more (its root lookups, instant on roots).
+        ds.finds += 2
+        x = a.members[0].id
+        ra = x
+        while parent[ra] != ra:
+            ra = parent[ra]
+        while parent[x] != ra:
+            parent[x], x = ra, parent[x]
+        y = b.members[0].id
+        rb = y
+        while parent[rb] != rb:
+            rb = parent[rb]
+        while parent[y] != rb:
+            parent[y], y = rb, parent[y]
+        ds.finds += 2
+        ds.unions += 1
+        rank = ds._rank
+        root, loser_root = ra, rb
+        if rank[root] < rank[loser_root]:
+            root, loser_root = loser_root, root
+        parent[loser_root] = root
+        if rank[root] == rank[loser_root]:
+            rank[root] += 1
         winner, loser = (a, b) if root == ra else (b, a)
         # Splice the smaller member list into the larger one.
         if len(winner.members) < len(loser.members):

@@ -53,6 +53,11 @@ class RecycleList:
         self._buckets: Dict[Tuple[str, int], List[Handle]] = defaultdict(list)
         self._parked_words = 0
 
+    def set_tracer(self, tracer) -> None:
+        """Replace the tracer and refresh the cached ``_trace`` flag."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self._tracer.enabled
+
     def __len__(self) -> int:
         return len(self._dead)
 

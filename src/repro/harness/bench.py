@@ -1,0 +1,219 @@
+"""Wall-clock benchmark harness with a persistent baseline.
+
+``python -m repro bench`` times the (workload, system) grid end-to-end —
+real seconds, not the simulated cost model — and writes a JSON report.
+A committed report (``BENCH_3.json`` at the repo root) serves as the
+baseline: ``--check BASELINE`` recompares and fails on regression, which
+is what the CI smoke job runs.
+
+Two kinds of comparison, deliberately different in strictness:
+
+* **Determinism counters** (``ops``, ``alloc_search_steps``) must match the
+  baseline *exactly* — runs are seeded and the VM is deterministic, so any
+  drift means a behavior change, not noise.
+* **Wall clock** is noisy, so each cell reports the minimum over
+  ``--repeats`` runs and the check gates on the *geometric mean* of the
+  per-cell current/baseline ratios, failing only beyond ``--tolerance``
+  (default 25%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runner import run_workload
+
+#: Grid defaults: the timing-relevant systems (CG, the unmodified base
+#: system, and the segregated-fit allocator ablation).
+DEFAULT_SYSTEMS = ("cg", "jdk", "cg-segfit")
+DEFAULT_WORKLOADS = (
+    "compress", "jess", "raytrace", "db", "javac", "mpegaudio", "jack",
+)
+#: The quick grid used by ``--small`` and the CI smoke job.
+SMALL_WORKLOADS = ("jess", "raytrace", "db")
+
+BENCH_VERSION = 3
+
+
+def run_bench(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    size: int = 1,
+    repeats: int = 3,
+) -> Dict:
+    """Time every (workload, system) cell; wall time is min over repeats."""
+    entries: List[Dict] = []
+    for workload in workloads:
+        for system in systems:
+            best = math.inf
+            result = None
+            for _ in range(max(1, repeats)):
+                started = time.perf_counter()
+                result = run_workload(workload, size, system)
+                elapsed = time.perf_counter() - started
+                best = min(best, elapsed)
+            entries.append({
+                "workload": workload,
+                "size": size,
+                "system": system,
+                "wall_seconds": best,
+                "ops": result.ops,
+                "ops_per_sec": result.ops / best if best else 0.0,
+                "alloc_search_steps": result.alloc_search_steps,
+            })
+    return {
+        "version": BENCH_VERSION,
+        "size": size,
+        "repeats": repeats,
+        "entries": entries,
+    }
+
+
+def write_bench(path: str, report: Dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> Dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _keyed(report: Dict) -> Dict[Tuple[str, int, str], Dict]:
+    return {
+        (e["workload"], e["size"], e["system"]): e
+        for e in report["entries"]
+    }
+
+
+def compare(current: Dict, baseline: Dict,
+            tolerance: float = 0.25) -> Tuple[bool, List[str]]:
+    """Compare a fresh report against the committed baseline.
+
+    Returns ``(ok, report_lines)``.  Fails when any shared cell's
+    determinism counters drift, or when the geometric-mean wall-clock
+    ratio exceeds ``1 + tolerance``.  Cells present in only one report
+    are noted but do not fail the check (the grid may legitimately grow).
+    """
+    lines: List[str] = []
+    ok = True
+    cur, base = _keyed(current), _keyed(baseline)
+    shared = [k for k in base if k in cur]
+    for key in base:
+        if key not in cur:
+            lines.append(f"note: baseline cell {key} not in current run")
+    for key in cur:
+        if key not in base:
+            lines.append(f"note: new cell {key} has no baseline")
+
+    ratios = []
+    for key in shared:
+        c, b = cur[key], base[key]
+        for counter in ("ops", "alloc_search_steps"):
+            if c[counter] != b[counter]:
+                ok = False
+                lines.append(
+                    f"FAIL {key}: {counter} drifted "
+                    f"{b[counter]} -> {c[counter]} (determinism break)"
+                )
+        if b["wall_seconds"] > 0 and c["wall_seconds"] > 0:
+            ratio = c["wall_seconds"] / b["wall_seconds"]
+            ratios.append(ratio)
+            lines.append(
+                f"{key[0]}/{key[2]}: {b['wall_seconds']:.4f}s -> "
+                f"{c['wall_seconds']:.4f}s ({ratio:.2f}x)"
+            )
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        limit = 1.0 + tolerance
+        verdict = "ok" if geomean <= limit else "REGRESSION"
+        lines.append(
+            f"wall-clock geomean ratio: {geomean:.3f} "
+            f"(limit {limit:.2f}) - {verdict}"
+        )
+        if geomean > limit:
+            ok = False
+    elif shared:
+        lines.append("no timed cells to compare")
+    return ok, lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Wall-clock benchmark over the (workload, system) grid.",
+    )
+    parser.add_argument(
+        "--small", action="store_true",
+        help=f"quick grid ({', '.join(SMALL_WORKLOADS)}) for smoke runs",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", metavar="NAME",
+        help="override the workload list",
+    )
+    parser.add_argument(
+        "--systems", nargs="+", metavar="SYS",
+        help=f"override the system list (default: {' '.join(DEFAULT_SYSTEMS)})",
+    )
+    parser.add_argument("--size", type=int, default=1)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per cell; wall time reported is the minimum (default 3)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="write the JSON report to PATH"
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed geomean wall-clock slowdown for --check (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = tuple(
+        args.workloads if args.workloads
+        else SMALL_WORKLOADS if args.small
+        else DEFAULT_WORKLOADS
+    )
+    systems = tuple(args.systems) if args.systems else DEFAULT_SYSTEMS
+
+    report = run_bench(workloads, systems, size=args.size,
+                       repeats=args.repeats)
+    for entry in report["entries"]:
+        print(
+            f"{entry['workload']:>10s} {entry['system']:<10s} "
+            f"{entry['wall_seconds']:.4f}s  "
+            f"{entry['ops_per_sec']:>12.0f} ops/s  "
+            f"{entry['alloc_search_steps']:>10d} alloc steps"
+        )
+    if args.out:
+        write_bench(args.out, report)
+        print(f"[bench] report -> {args.out}", file=sys.stderr)
+
+    if args.check:
+        try:
+            baseline = load_bench(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        ok, lines = compare(report, baseline, tolerance=args.tolerance)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("[bench] regression check FAILED", file=sys.stderr)
+            return 1
+        print("[bench] regression check passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,7 +77,20 @@ def main(argv=None) -> int:
         "--metrics", metavar="PATH",
         help="write one metrics record per executed run as JSON",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="prefetch the (workload, size, system) grid with N worker "
+             "processes before generating tables (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--result-cache", metavar="DIR",
+        help="persist per-cell run results as JSON under DIR and reuse them "
+             "across invocations (also: REPRO_RESULT_CACHE env var)",
+    )
     args = parser.parse_args(argv)
+
+    if args.result_cache:
+        figures_mod.set_result_cache(args.result_cache)
 
     if args.list:
         for fig_id in ALL_FIGURES:
@@ -108,6 +121,17 @@ def main(argv=None) -> int:
         for fig_id in wanted:
             print(ALL_FIGURES[fig_id]())
             print()
+
+    if args.jobs > 1 and tracer is None:
+        # Warm the shared run cache in parallel; the generators then hit it.
+        # Skipped under --trace: worker processes would not see the tracer.
+        cells = figures_mod.prefetch(wanted, args.jobs)
+        print(
+            f"[prefetch] {cells} cells warmed with {args.jobs} jobs",
+            file=sys.stderr,
+        )
+    elif args.jobs > 1:
+        print("[prefetch] skipped: incompatible with --trace", file=sys.stderr)
 
     if tracer is not None:
         with tracing_to(tracer):

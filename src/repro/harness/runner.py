@@ -12,6 +12,8 @@ A *system* is one of the named configurations the paper compares:
 ``cg-reset``    CG + the section 3.6 reset pass, MSA forced periodically
                 (Fig. 4.11's protocol: "GC every 100,000 instructions",
                 scaled to this substrate)
+``cg-segfit``   CG + mark-sweep on the segregated-fit free list (an
+                allocator ablation; everything else matches ``cg``)
 ``jdk``         the unmodified base system: mark-sweep only
 ``cg-nogc``     CG with the tracing collector disabled and ample storage
                 (section 4.5's overhead-isolation setup)
@@ -24,7 +26,8 @@ A *system* is one of the named configurations the paper compares:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from collections import Counter
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional, Union
 
 from ..core.policy import CGPolicy
@@ -45,7 +48,8 @@ RESET_PERIOD_OPS = 5000
 
 SYSTEMS = (
     "cg", "cg-noopt", "cg-recycle", "cg-recycle-typed", "cg-reset",
-    "jdk", "cg-nogc", "cg-noopt-nogc", "jdk-nogc", "gen", "train",
+    "cg-segfit", "jdk", "cg-nogc", "cg-noopt-nogc", "jdk-nogc",
+    "gen", "train",
 )
 
 
@@ -72,6 +76,10 @@ def config_for(system: str, heap_words: int,
             tracing="marksweep",
             gc_period_ops=gc_period_ops or RESET_PERIOD_OPS,
         )
+    if system == "cg-segfit":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops,
+                             allocator="segregated")
     if system == "jdk":
         return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
                              tracing="marksweep", gc_period_ops=gc_period_ops)
@@ -144,6 +152,73 @@ class RunResult:
     @property
     def sim_ms(self) -> float:
         return self.cost.total_ms
+
+
+#: CGStats Counter fields whose keys are ints (JSON stringifies dict keys,
+#: so deserialization must convert them back).
+_INT_KEYED_COUNTERS = ("block_size_hist", "age_hist")
+_STR_KEYED_COUNTERS = ("static_pins", "objects_pinned")
+
+
+def result_to_dict(result: RunResult) -> Dict:
+    """Flatten a :class:`RunResult` to JSON-serializable primitives.
+
+    Used by the worker processes of the parallel figure harness and by the
+    on-disk result cache; :func:`result_from_dict` is the exact inverse
+    (modulo JSON's string dict keys, which it restores).
+    """
+    cg_stats = None
+    if result.cg_stats is not None:
+        cg_stats = asdict(result.cg_stats)
+        # asdict() rebuilds each Counter as Counter(pair_iterable), which
+        # *counts the pairs* instead of reconstructing the mapping — so the
+        # Counter fields must be flattened to plain dicts by hand.
+        for name in _INT_KEYED_COUNTERS + _STR_KEYED_COUNTERS:
+            cg_stats[name] = dict(getattr(result.cg_stats, name))
+    return {
+        "workload": result.workload,
+        "size": result.size,
+        "system": result.system,
+        "objects_created": result.objects_created,
+        "census": dict(result.census),
+        "cg_stats": cg_stats,
+        "gc_work": asdict(result.gc_work),
+        "cost": asdict(result.cost),
+        "wall_seconds": result.wall_seconds,
+        "ops": result.ops,
+        "alloc_search_steps": result.alloc_search_steps,
+        "peak_live_words": result.peak_live_words,
+        "heap_words": result.heap_words,
+        "metrics": result.metrics,
+    }
+
+
+def result_from_dict(data: Dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    cg_stats = None
+    if data["cg_stats"] is not None:
+        raw = dict(data["cg_stats"])
+        for name in _INT_KEYED_COUNTERS:
+            raw[name] = Counter({int(k): v for k, v in raw[name].items()})
+        for name in _STR_KEYED_COUNTERS:
+            raw[name] = Counter(raw[name])
+        cg_stats = CGStats(**raw)
+    return RunResult(
+        workload=data["workload"],
+        size=data["size"],
+        system=data["system"],
+        objects_created=data["objects_created"],
+        census=dict(data["census"]),
+        cg_stats=cg_stats,
+        gc_work=GCWork(**data["gc_work"]),
+        cost=CostBreakdown(**data["cost"]),
+        wall_seconds=data["wall_seconds"],
+        ops=data["ops"],
+        alloc_search_steps=data["alloc_search_steps"],
+        peak_live_words=data["peak_live_words"],
+        heap_words=data["heap_words"],
+        metrics=data.get("metrics", {}),
+    )
 
 
 def run_workload(

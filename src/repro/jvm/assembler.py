@@ -201,6 +201,15 @@ def _assemble_method(program: Program, pm: _PendingMethod) -> None:
         elif op in (bc.INVOKEVIRTUAL, bc.SPAWN):
             a = operands[0]
             b = _parse_int(operands[1], lineno)
+        elif op in (bc.GETSTATIC, bc.PUTSTATIC):
+            # Pre-split "Class.field" at assembly time so the interpreter
+            # never re-parses the operand on the hot path.
+            ref = operands[0]
+            if "." not in ref:
+                raise AssemblerError(
+                    f"line {lineno}: {mnemonic} needs Class.field, got {ref!r}"
+                )
+            a = tuple(ref.rsplit(".", 1))
         elif _ARITY[op] == 1:
             a = operands[0]
         code.append((op, a, b))

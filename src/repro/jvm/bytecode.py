@@ -99,6 +99,9 @@ def disassemble(code: List[Tuple[int, object, object]]) -> str:
     """Human-readable listing (for error messages and docs)."""
     lines = []
     for pc, (op, a, b) in enumerate(code):
-        operands = " ".join(repr(x) for x in (a, b) if x is not None)
+        operands = " ".join(
+            ".".join(x) if type(x) is tuple else repr(x)
+            for x in (a, b) if x is not None
+        )
         lines.append(f"{pc:4d}  {OPCODE_NAMES[op]} {operands}".rstrip())
     return "\n".join(lines)

@@ -1,10 +1,15 @@
 """The bytecode interpreter.
 
-A straightforward threaded-dispatch loop in the spirit of Sun's C reference
-interpreter (the system the thesis modified).  The CG-relevant instructions
-delegate to the runtime services, which raise the collector events; the
-interpreter itself only moves values between locals, operand stacks, and the
-heap.
+A table-driven dispatch loop in the spirit of Sun's C reference interpreter
+(the system the thesis modified): each opcode indexes a tuple of handler
+functions, replacing the original if/elif chain whose average cost grew with
+the opcode's position.  The CG-relevant instructions delegate to the runtime
+services, which raise the collector events; the interpreter itself only
+moves values between locals, operand stacks, and the heap.
+
+The original chain dispatch is retained (``RuntimeConfig(dispatch="chain")``)
+as the reference implementation for the opcode-parity differential suite —
+both loops must produce identical stats on every program.
 
 Threading: :meth:`Interpreter.run_program` drives the deterministic
 round-robin scheduler — each runnable thread executes up to a quantum of
@@ -17,13 +22,13 @@ callee runs synchronously on the same thread via :meth:`call_sync`.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from ..obs.profile import PHASE_INTERPRET
 from . import bytecode as bc
 from .errors import NullPointerError, VerifyError, VMError
 from .heap import Handle
-from .model import JMethod, Program
+from .model import JClass, JMethod, Program
 from .natives import NativeEnv
 from .threads import JThread
 
@@ -34,17 +39,394 @@ if TYPE_CHECKING:  # pragma: no cover
 VOID = object()
 
 
+# ---------------------------------------------------------------------------
+# Opcode handlers (table dispatch)
+#
+# One module-level function per opcode, uniform signature
+# ``(interp, runtime, thread, frame, a, b)``.  The driving loop has already
+# advanced ``frame.pc`` past the instruction, so branch handlers simply
+# overwrite it.  Handlers are plain functions (not methods) so the dispatch
+# table costs one tuple index plus one call — no bound-method creation.
+# ---------------------------------------------------------------------------
+
+
+def _h_const(interp, runtime, thread, frame, a, b):
+    frame.stack.append(a)
+
+
+def _h_aconst_null(interp, runtime, thread, frame, a, b):
+    frame.stack.append(None)
+
+
+def _h_ldc_str(interp, runtime, thread, frame, a, b):
+    frame.stack.append(runtime.new_string(a, thread))
+
+
+def _h_load(interp, runtime, thread, frame, a, b):
+    frame.stack.append(frame.locals[a])
+
+
+def _h_store(interp, runtime, thread, frame, a, b):
+    frame.locals[a] = frame.stack.pop()
+
+
+def _h_iinc(interp, runtime, thread, frame, a, b):
+    frame.locals[a] += b
+
+
+def _h_dup(interp, runtime, thread, frame, a, b):
+    frame.stack.append(frame.stack[-1])
+
+
+def _h_pop(interp, runtime, thread, frame, a, b):
+    frame.stack.pop()
+
+
+def _h_swap(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    stack[-1], stack[-2] = stack[-2], stack[-1]
+
+
+def _h_new(interp, runtime, thread, frame, a, b):
+    frame.stack.append(runtime.allocate(a, thread))
+
+
+def _h_newarray(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    length = stack.pop()
+    stack.append(runtime.allocate(Program.ARRAY, thread, length=length))
+
+
+def _h_getfield(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    obj = stack.pop()
+    if obj is None:
+        raise NullPointerError(f"getfield {a} on null")
+    stack.append(runtime.load_field(obj, a, thread))
+
+
+def _h_putfield(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    value = stack.pop()
+    obj = stack.pop()
+    if obj is None:
+        raise NullPointerError(f"putfield {a} on null")
+    runtime.store_field(obj, a, value, thread)
+
+
+def _h_getstatic(interp, runtime, thread, frame, a, b):
+    try:
+        cls, field = interp._static_refs[a]
+    except KeyError:
+        cls, field = interp._resolve_static(a)
+    frame.stack.append(runtime.load_static(field, cls))
+
+
+def _h_putstatic(interp, runtime, thread, frame, a, b):
+    try:
+        cls, field = interp._static_refs[a]
+    except KeyError:
+        cls, field = interp._resolve_static(a)
+    runtime.store_static(field, frame.stack.pop(), cls)
+
+
+def _h_aaload(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    index = stack.pop()
+    array = stack.pop()
+    if array is None:
+        raise NullPointerError("aaload on null array")
+    stack.append(runtime.load_element(array, index, thread))
+
+
+def _h_aastore(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    value = stack.pop()
+    index = stack.pop()
+    array = stack.pop()
+    if array is None:
+        raise NullPointerError("aastore on null array")
+    runtime.store_element(array, index, value, thread)
+
+
+def _h_arraylength(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    array = stack.pop()
+    if array is None:
+        raise NullPointerError("arraylength on null")
+    runtime.access(array, thread)
+    stack.append(array.length)
+
+
+def _h_instanceof(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    obj = stack.pop()
+    stack.append(interp._instanceof(obj, a))
+
+
+def _h_intern(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    string = stack.pop()
+    if string is None:
+        raise NullPointerError("intern on null")
+    runtime.access(string, thread)
+    stack.append(runtime.intern(string))
+
+
+def _h_invokestatic(interp, runtime, thread, frame, a, b):
+    interp._invoke(thread, frame, runtime.program.resolve(a))
+
+
+def _h_invokevirtual(interp, runtime, thread, frame, a, b):
+    nargs = b
+    if nargs < 1:
+        raise VerifyError("invokevirtual needs a receiver")
+    receiver = frame.stack[-nargs]
+    if receiver is None:
+        raise NullPointerError(f"invokevirtual {a} on null")
+    runtime.access(receiver, thread)
+    method = receiver.cls.resolve_method(a)
+    if method.nargs != nargs:
+        raise VerifyError(
+            f"{method.qualified_name} takes "
+            f"{method.nargs} args, call site passes {nargs}"
+        )
+    interp._invoke(thread, frame, method)
+
+
+def _h_return(interp, runtime, thread, frame, a, b):
+    interp._return(thread, VOID)
+
+
+def _h_retval(interp, runtime, thread, frame, a, b):
+    value = frame.stack.pop()
+    if isinstance(value, Handle):
+        runtime.return_reference(value, thread)
+    interp._return(thread, value)
+
+
+def _h_spawn(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    nargs = b if b is not None else 1
+    args = [stack.pop() for _ in range(nargs)][::-1]
+    receiver = args[0]
+    if receiver is None:
+        raise NullPointerError(f"spawn {a} on null receiver")
+    method = receiver.cls.resolve_method(a)
+    if method.nargs != nargs:
+        raise VerifyError(
+            f"spawn: {method.qualified_name} takes "
+            f"{method.nargs} args, got {nargs}"
+        )
+    # Thread.start() crosses the native boundary in the JDK, and the
+    # spawning frame may pop before the new thread ever touches its
+    # arguments — so every reference handed to the new thread is pinned
+    # as thread-shared immediately (section 3.3's conservative treatment).
+    if runtime.collector is not None:
+        from ..core.stats import CAUSE_SHARED
+
+        for arg in args:
+            if isinstance(arg, Handle):
+                runtime.collector.pin_static(arg, CAUSE_SHARED)
+    new_thread = runtime.new_thread()
+    interp._push_frame(new_thread, method, args)
+
+
+def _h_add(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    stack[-1] = stack[-1] + y
+
+
+def _h_sub(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    stack[-1] = stack[-1] - y
+
+
+def _h_mul(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    stack[-1] = stack[-1] * y
+
+
+def _h_div(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    x = stack.pop()
+    if isinstance(x, int) and isinstance(y, int):
+        stack.append(int(x / y) if y != 0 else _div_zero())
+    else:
+        stack.append(x / y)
+
+
+def _h_mod(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    x = stack.pop()
+    stack.append(x - int(x / y) * y if y != 0 else _div_zero())
+
+
+def _h_neg(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    stack[-1] = -stack[-1]
+
+
+def _h_goto(interp, runtime, thread, frame, a, b):
+    frame.pc = a
+
+
+def _h_ifzero(interp, runtime, thread, frame, a, b):
+    if frame.stack.pop() == 0:
+        frame.pc = a
+
+
+def _h_ifnzero(interp, runtime, thread, frame, a, b):
+    if frame.stack.pop() != 0:
+        frame.pc = a
+
+
+def _h_ifnull(interp, runtime, thread, frame, a, b):
+    if frame.stack.pop() is None:
+        frame.pc = a
+
+
+def _h_ifnonnull(interp, runtime, thread, frame, a, b):
+    if frame.stack.pop() is not None:
+        frame.pc = a
+
+
+def _h_if_icmpeq(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    if stack.pop() == y:
+        frame.pc = a
+
+
+def _h_if_icmpne(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    if stack.pop() != y:
+        frame.pc = a
+
+
+def _h_if_icmplt(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    if stack.pop() < y:
+        frame.pc = a
+
+
+def _h_if_icmple(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    if stack.pop() <= y:
+        frame.pc = a
+
+
+def _h_if_icmpgt(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    if stack.pop() > y:
+        frame.pc = a
+
+
+def _h_if_icmpge(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    if stack.pop() >= y:
+        frame.pc = a
+
+
+def _h_if_acmpeq(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    if stack.pop() is y:
+        frame.pc = a
+
+
+def _h_if_acmpne(interp, runtime, thread, frame, a, b):
+    stack = frame.stack
+    y = stack.pop()
+    if stack.pop() is not y:
+        frame.pc = a
+
+
+def _div_zero():
+    raise VMError("integer division by zero")
+
+
+_HANDLER_BY_NAME = {
+    "const": _h_const,
+    "aconst_null": _h_aconst_null,
+    "ldc_str": _h_ldc_str,
+    "load": _h_load,
+    "store": _h_store,
+    "iinc": _h_iinc,
+    "dup": _h_dup,
+    "pop": _h_pop,
+    "swap": _h_swap,
+    "new": _h_new,
+    "newarray": _h_newarray,
+    "getfield": _h_getfield,
+    "putfield": _h_putfield,
+    "getstatic": _h_getstatic,
+    "putstatic": _h_putstatic,
+    "aaload": _h_aaload,
+    "aastore": _h_aastore,
+    "arraylength": _h_arraylength,
+    "instanceof": _h_instanceof,
+    "intern": _h_intern,
+    "invokestatic": _h_invokestatic,
+    "invokevirtual": _h_invokevirtual,
+    "return": _h_return,
+    "retval": _h_retval,
+    "spawn": _h_spawn,
+    "add": _h_add,
+    "sub": _h_sub,
+    "mul": _h_mul,
+    "div": _h_div,
+    "mod": _h_mod,
+    "neg": _h_neg,
+    "goto": _h_goto,
+    "ifzero": _h_ifzero,
+    "ifnzero": _h_ifnzero,
+    "ifnull": _h_ifnull,
+    "ifnonnull": _h_ifnonnull,
+    "if_icmpeq": _h_if_icmpeq,
+    "if_icmpne": _h_if_icmpne,
+    "if_icmplt": _h_if_icmplt,
+    "if_icmple": _h_if_icmple,
+    "if_icmpgt": _h_if_icmpgt,
+    "if_icmpge": _h_if_icmpge,
+    "if_acmpeq": _h_if_acmpeq,
+    "if_acmpne": _h_if_acmpne,
+}
+
+#: Opcode-indexed handler table.  Built from the mnemonic map so a missing
+#: or misspelt entry fails at import time, not mid-run.
+_HANDLERS: Tuple = tuple(_HANDLER_BY_NAME[name] for name in bc.OPCODE_NAMES)
+assert len(_HANDLERS) == bc.OP_COUNT
+
+
 class Interpreter:
     """Executes bytecode methods on a runtime's threads."""
 
     def __init__(self, runtime: "Runtime") -> None:
         self.runtime = runtime
         self.instructions_executed = 0
+        #: static-ref operand -> (JClass, field name).  Operands are the
+        #: assembler's pre-split ``(class, field)`` tuples (or legacy
+        #: ``"Class.field"`` strings from hand-built code); both are
+        #: hashable, so one dict serves as the resolution cache.
+        self._static_refs: Dict[object, Tuple[JClass, str]] = {}
         #: Per-thread stack of frame depths acting as sync-call boundaries:
         #: a return at a marked depth delivers its value to ``_sync_results``
         #: instead of the caller's operand stack (native callbacks).
         self._sync_marks: Dict[int, List[int]] = {}
         self._sync_results: Dict[int, object] = {}
+        if runtime.config.dispatch == "chain":
+            self.step_n = self._step_n_chain
 
     # ------------------------------------------------------------------
     # Entry points
@@ -128,6 +510,16 @@ class Interpreter:
         else:
             thread.result = None if value is VOID else value
 
+    def _resolve_static(self, operand) -> Tuple[JClass, str]:
+        """Resolve (and cache) a getstatic/putstatic operand."""
+        if type(operand) is tuple:
+            cls_name, field = operand
+        else:
+            cls_name, field = operand.rsplit(".", 1)
+        ref = (self.runtime.program.lookup(cls_name), field)
+        self._static_refs[operand] = ref
+        return ref
+
     # ------------------------------------------------------------------
     # The dispatch loop
     # ------------------------------------------------------------------
@@ -150,6 +542,71 @@ class Interpreter:
             # shadow stack at quantum resolution, not per instruction.
             profile_started = perf_counter()
             profile_depth = len(frames)
+        handlers = _HANDLERS
+        op_count = bc.OP_COUNT
+        if runtime._gc_period is None:
+            # No periodic-GC trigger: ``tick`` is pure accounting, so charge
+            # the whole quantum in one call instead of once per instruction.
+            # Implicit end-of-code returns are not ticked (matching the
+            # per-instruction loop below, which ticks only decoded
+            # instructions); the flush happens even if a handler raises, so
+            # the op count includes the faulting instruction exactly as the
+            # per-instruction loop would.
+            ticked = 0
+            try:
+                while executed < budget and len(frames) > stop_depth:
+                    frame = frames[-1]
+                    code = frame.method.code
+                    pc = frame.pc
+                    if pc >= len(code):
+                        # Fell off the end: implicit return void.
+                        self._return(thread, VOID)
+                        executed += 1
+                        continue
+                    op, a, b = code[pc]
+                    frame.pc = pc + 1
+                    executed += 1
+                    ticked += 1
+                    if op >= op_count or op < 0:
+                        raise VerifyError(f"unknown opcode {op}")
+                    handlers[op](self, runtime, thread, frame, a, b)
+            finally:
+                if ticked:
+                    runtime.tick(ticked)
+        else:
+            while executed < budget and len(frames) > stop_depth:
+                frame = frames[-1]
+                code = frame.method.code
+                pc = frame.pc
+                if pc >= len(code):
+                    self._return(thread, VOID)
+                    executed += 1
+                    continue
+                op, a, b = code[pc]
+                frame.pc = pc + 1
+                executed += 1
+                runtime.tick()
+                if op >= op_count or op < 0:
+                    raise VerifyError(f"unknown opcode {op}")
+                handlers[op](self, runtime, thread, frame, a, b)
+        self.instructions_executed += executed
+        if profiler.enabled:
+            elapsed = perf_counter() - profile_started
+            profiler.add(PHASE_INTERPRET, elapsed)
+            profiler.charge_depth(profile_depth, elapsed)
+        return executed
+
+    def _step_n_chain(self, thread: JThread, budget: int,
+                      stop_depth: int = 0) -> int:
+        """The original if/elif dispatch loop, kept as the reference
+        implementation for the opcode-parity suite (``dispatch="chain"``)."""
+        runtime = self.runtime
+        executed = 0
+        frames = thread.stack.frames
+        profiler = runtime.profiler
+        if profiler.enabled:
+            profile_started = perf_counter()
+            profile_depth = len(frames)
         while executed < budget and len(frames) > stop_depth:
             frame = frames[-1]
             method = frame.method
@@ -164,7 +621,6 @@ class Interpreter:
             executed += 1
             runtime.tick()
             stack = frame.stack
-            tid = thread.thread_id
 
             if op == bc.CONST:
                 stack.append(a)
@@ -212,11 +668,17 @@ class Interpreter:
                 runtime.access(array, thread)
                 stack.append(array.length)
             elif op == bc.GETSTATIC:
-                cls_name, field = a.rsplit(".", 1)
+                if type(a) is tuple:
+                    cls_name, field = a
+                else:
+                    cls_name, field = a.rsplit(".", 1)
                 cls = runtime.program.lookup(cls_name)
                 stack.append(runtime.load_static(field, cls))
             elif op == bc.PUTSTATIC:
-                cls_name, field = a.rsplit(".", 1)
+                if type(a) is tuple:
+                    cls_name, field = a
+                else:
+                    cls_name, field = a.rsplit(".", 1)
                 cls = runtime.program.lookup(cls_name)
                 runtime.store_static(field, stack.pop(), cls)
             elif op == bc.INVOKESTATIC:
@@ -245,30 +707,7 @@ class Interpreter:
             elif op == bc.RETURN:
                 self._return(thread, VOID)
             elif op == bc.SPAWN:
-                nargs = b if b is not None else 1
-                args = [stack.pop() for _ in range(nargs)][::-1]
-                receiver = args[0]
-                if receiver is None:
-                    raise NullPointerError(f"spawn {a} on null receiver")
-                method_callee = receiver.cls.resolve_method(a)
-                if method_callee.nargs != nargs:
-                    raise VerifyError(
-                        f"spawn: {method_callee.qualified_name} takes "
-                        f"{method_callee.nargs} args, got {nargs}"
-                    )
-                # Thread.start() crosses the native boundary in the JDK, and
-                # the spawning frame may pop before the new thread ever
-                # touches its arguments — so every reference handed to the
-                # new thread is pinned as thread-shared immediately
-                # (section 3.3's conservative treatment).
-                if runtime.collector is not None:
-                    from ..core.stats import CAUSE_SHARED
-
-                    for arg in args:
-                        if isinstance(arg, Handle):
-                            runtime.collector.pin_static(arg, CAUSE_SHARED)
-                new_thread = runtime.new_thread()
-                self._push_frame(new_thread, method_callee, args)
+                _h_spawn(self, runtime, thread, frame, a, b)
             elif op == bc.LDC_STR:
                 stack.append(runtime.new_string(a, thread))
             elif op == bc.INTERN:
@@ -299,13 +738,13 @@ class Interpreter:
                 y = stack.pop()
                 x = stack.pop()
                 if isinstance(x, int) and isinstance(y, int):
-                    stack.append(int(x / y) if y != 0 else self._div_zero())
+                    stack.append(int(x / y) if y != 0 else _div_zero())
                 else:
                     stack.append(x / y)
             elif op == bc.MOD:
                 y = stack.pop()
                 x = stack.pop()
-                stack.append(x - int(x / y) * y if y != 0 else self._div_zero())
+                stack.append(x - int(x / y) * y if y != 0 else _div_zero())
             elif op == bc.NEG:
                 stack[-1] = -stack[-1]
             elif op == bc.IINC:
@@ -356,7 +795,7 @@ class Interpreter:
                 y = stack.pop()
                 if stack.pop() is not y:
                     frame.pc = a
-            else:  # pragma: no cover - assembler can't emit unknown ops
+            else:
                 raise VerifyError(f"unknown opcode {op}")
         self.instructions_executed += executed
         if profiler.enabled:
@@ -379,10 +818,6 @@ class Interpreter:
                 frame.stack.append(result)
             return
         self._push_frame(thread, method, args)
-
-    @staticmethod
-    def _div_zero():
-        raise VMError("integer division by zero")
 
     def _instanceof(self, obj, cls_name: str) -> int:
         if obj is None:

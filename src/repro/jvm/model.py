@@ -28,7 +28,10 @@ class JClass:
     frame 0 (live for the program's duration).
     """
 
-    __slots__ = ("name", "fields", "methods", "statics", "superclass", "is_array")
+    __slots__ = (
+        "name", "fields", "methods", "statics", "superclass", "is_array",
+        "_field_template",
+    )
 
     def __init__(
         self,
@@ -48,6 +51,7 @@ class JClass:
         self.statics: Dict[str, object] = {}
         self.superclass = superclass
         self.is_array = is_array
+        self._field_template: Optional[Dict[str, object]] = None
 
     def __repr__(self) -> str:
         return f"<JClass {self.name}>"
@@ -72,6 +76,18 @@ class JClass:
     def instance_size_words(self) -> int:
         """Payload size of an instance, in words (one word per field)."""
         return max(1, len(self.fields))
+
+    def field_template(self) -> Dict[str, object]:
+        """All-None field dict to copy per allocation.
+
+        The length guard rebuilds the template when fields are appended
+        after class creation (the assembler's ``field`` directive does
+        this), so the cache is safe for append-only mutation.
+        """
+        template = self._field_template
+        if template is None or len(template) != len(self.fields):
+            template = self._field_template = dict.fromkeys(self.fields)
+        return template
 
 
 class JMethod:

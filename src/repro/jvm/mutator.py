@@ -19,8 +19,7 @@ exactly like real bytecode.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Iterator, List, Optional, Union
+from typing import List, Optional, Union
 
 from .errors import IllegalStateError
 from .frames import Frame
@@ -30,29 +29,71 @@ from .runtime import Runtime
 from .threads import JThread
 
 
+class _FrameScope:
+    """Plain context manager for :meth:`Mutator.frame`.
+
+    A hand-rolled class instead of ``@contextmanager`` because workloads
+    enter thousands of frames: the generator protocol costs two extra
+    calls (``next`` + ``StopIteration`` plumbing) per activation.  One
+    scope instance is reused per mutator — safe even for nested ``with``
+    blocks because ``__enter__`` reads ``frame`` before any inner
+    :meth:`Mutator.frame` call can overwrite it, and ``__exit__`` always
+    pops the *current* (innermost) frame.
+    """
+
+    __slots__ = ("_runtime", "_thread", "frame")
+
+    def __init__(self, runtime: Runtime, thread: JThread) -> None:
+        self._runtime = runtime
+        self._thread = thread
+        self.frame: Optional[Frame] = None
+
+    def __enter__(self) -> Frame:
+        return self.frame
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._runtime.pop_frame(self._thread)
+        return False
+
+
 class Mutator:
     """A thread-bound front end over :class:`~repro.jvm.runtime.Runtime`."""
+
+    __slots__ = (
+        "runtime", "thread", "_stack", "_scope", "tick", "_allocate",
+        "_store_field", "_load_field", "_store_element", "_load_element",
+    )
 
     def __init__(self, runtime: Runtime, thread: Optional[JThread] = None) -> None:
         self.runtime = runtime
         self.thread = thread or runtime.main_thread
+        #: The thread's call stack (its ``frames`` list object is stable
+        #: for the thread's lifetime, so hot paths index it directly).
+        self._stack = self.thread.stack
+        self._scope = _FrameScope(runtime, self.thread)
+        #: Instance-bound fast paths: these resolve straight to the runtime
+        #: methods, skipping one delegation frame per event.  ``tick`` in
+        #: particular fires on every mutator operation.
+        self.tick = runtime.tick
+        self._allocate = runtime.allocate
+        self._store_field = runtime.store_field
+        self._load_field = runtime.load_field
+        self._store_element = runtime.store_element
+        self._load_element = runtime.load_element
 
     # ------------------------------------------------------------------
     # Frames
     # ------------------------------------------------------------------
 
-    @contextmanager
-    def frame(self, name: str = "direct", nlocals: int = 0) -> Iterator[Frame]:
+    def frame(self, name: str = "direct", nlocals: int = 0) -> _FrameScope:
         """Enter a method activation; popping it fires the CG collection."""
-        frame = self.runtime.push_frame(self.thread, None, nlocals=nlocals)
-        try:
-            yield frame
-        finally:
-            self.runtime.pop_frame(self.thread)
+        scope = self._scope
+        scope.frame = self.runtime.push_frame(self.thread, None, nlocals=nlocals)
+        return scope
 
     @property
     def current_frame(self) -> Frame:
-        return self.thread.stack.current
+        return self._stack.current
 
     @property
     def depth(self) -> int:
@@ -65,8 +106,8 @@ class Mutator:
     def new(self, cls: Union[str, JClass], length: Optional[int] = None) -> Handle:
         """Allocate; the result is temp-rooted on the operand stack."""
         self.tick()
-        handle = self.runtime.allocate(cls, self.thread, length=length)
-        self.current_frame.stack.append(handle)
+        handle = self._allocate(cls, self.thread, length)
+        self._stack.frames[-1].stack.append(handle)
         return handle
 
     def new_array(self, length: int) -> Handle:
@@ -75,7 +116,7 @@ class Mutator:
     def new_string(self, contents: str) -> Handle:
         self.tick()
         handle = self.runtime.new_string(contents, self.thread)
-        self.current_frame.stack.append(handle)
+        self._stack.frames[-1].stack.append(handle)
         return handle
 
     def intern(self, handle: Handle) -> Handle:
@@ -90,7 +131,7 @@ class Mutator:
 
     def putfield(self, obj: Handle, name: str, value: object) -> None:
         self.tick()
-        self.runtime.store_field(obj, name, value, self.thread)
+        self._store_field(obj, name, value, self.thread)
         if isinstance(value, Handle):
             self._consume(value)
 
@@ -99,22 +140,22 @@ class Mutator:
         when the caller will unlink the value from its container before the
         next potential GC point)."""
         self.tick()
-        value = self.runtime.load_field(obj, name, self.thread)
+        value = self._load_field(obj, name, self.thread)
         if keep and isinstance(value, Handle):
-            self.current_frame.stack.append(value)
+            self._stack.frames[-1].stack.append(value)
         return value
 
     def aastore(self, array: Handle, index: int, value: object) -> None:
         self.tick()
-        self.runtime.store_element(array, index, value, self.thread)
+        self._store_element(array, index, value, self.thread)
         if isinstance(value, Handle):
             self._consume(value)
 
     def aaload(self, array: Handle, index: int, keep: bool = False) -> object:
         self.tick()
-        value = self.runtime.load_element(array, index, self.thread)
+        value = self._load_element(array, index, self.thread)
         if keep and isinstance(value, Handle):
-            self.current_frame.stack.append(value)
+            self._stack.frames[-1].stack.append(value)
         return value
 
     def putstatic(self, key: str, value: object) -> None:
@@ -139,7 +180,7 @@ class Mutator:
     def set_local(self, index: int, value: object) -> None:
         """Bind a local slot (a durable root for the tracing collector)."""
         self.tick()
-        frame = self.current_frame
+        frame = self._stack.frames[-1]
         old = frame.locals[index] if index < len(frame.locals) else None
         frame.set_local(index, value)
         if isinstance(value, Handle):
@@ -147,13 +188,13 @@ class Mutator:
         return old
 
     def get_local(self, index: int) -> object:
-        frame = self.current_frame
+        frame = self._stack.frames[-1]
         return frame.locals[index] if index < len(frame.locals) else None
 
     def root(self, value: Handle) -> int:
         """Append ``value`` as a new durable local; returns the slot index."""
         self.tick()
-        index = self.current_frame.add_root(value)
+        index = self._stack.frames[-1].add_root(value)
         self._consume(value)
         return index
 
@@ -164,15 +205,16 @@ class Mutator:
         just before leaving the ``with mutator.frame()`` block.  The value
         is re-rooted on the caller's operand stack, like a real ``areturn``.
         """
-        if self.depth < 1:
+        frames = self._stack.frames
+        if not frames:
             raise IllegalStateError("areturn with no active frame")
         self.tick()
-        value.check_live()
+        if value.freed:
+            value.check_live()
         self.runtime.return_reference(value, self.thread)
         self._consume(value)
-        caller = self.thread.stack.caller
-        if caller is not None:
-            caller.stack.append(value)
+        if len(frames) >= 2:
+            frames[-2].stack.append(value)
         return value
 
     def consume_from_caller(self, value: Handle) -> None:
@@ -205,14 +247,14 @@ class Mutator:
     # Misc
     # ------------------------------------------------------------------
 
-    def tick(self, n: int = 1) -> None:
-        """Charge mutator work (and give the periodic collector its chance)."""
-        self.runtime.tick(n)
-
     def _consume(self, value: Handle) -> None:
         """Remove one occurrence of ``value`` from the operand stack, if any."""
-        stack = self.current_frame.stack
-        for i in range(len(stack) - 1, -1, -1):
+        stack = self._stack.frames[-1].stack
+        # Fast path: the consumed reference is almost always on top.
+        if stack and stack[-1] is value:
+            stack.pop()
+            return
+        for i in range(len(stack) - 2, -1, -1):
             if stack[i] is value:
                 del stack[i]
                 return

@@ -25,7 +25,7 @@ from ..obs.events import NULL_TRACER
 from ..obs.profile import NULL_PROFILER, PHASE_MSA, PhaseProfiler
 from .errors import IllegalStateError, OutOfMemoryError, VMError
 from .frames import Frame, FrameIdSource, StaticFrame
-from .heap import Handle, Heap
+from .heap import ALLOCATOR_CHOICES, Handle, Heap
 from .model import JClass, JMethod, Program
 from .natives import NativeRegistry
 from .strings import InternTable
@@ -35,6 +35,7 @@ if False:  # pragma: no cover - typing-only (imported lazily to break a cycle)
     from ..core.collector import ContaminatedCollector
 
 TRACING_CHOICES = ("marksweep", "none", "generational", "train")
+DISPATCH_CHOICES = ("table", "chain")
 
 
 @dataclass
@@ -57,6 +58,14 @@ class RuntimeConfig:
     #: Collect perf_counter phase timings (interpret / cg-events / msa /
     #: recycle-search) and the per-frame-depth time profile.
     profile: bool = False
+    #: Object-space allocator: "next-fit" is the faithful JDK 1.1.8 linear
+    #: search every figure measures; "segregated" is the production-mode
+    #: size-class allocator (opt-in, never used by the paper's tables).
+    allocator: str = "next-fit"
+    #: Interpreter dispatch strategy: "table" (opcode-indexed handler
+    #: tuple) or "chain" (the original if/elif reference, kept for the
+    #: opcode-parity differential suite).
+    dispatch: str = "table"
 
     def __post_init__(self) -> None:
         if self.tracing not in TRACING_CHOICES:
@@ -65,6 +74,15 @@ class RuntimeConfig:
             )
         if self.heap_words <= 0:
             raise ValueError("heap_words must be positive")
+        if self.allocator not in ALLOCATOR_CHOICES:
+            raise ValueError(
+                f"allocator must be one of {ALLOCATOR_CHOICES}, "
+                f"got {self.allocator!r}"
+            )
+        if self.dispatch not in DISPATCH_CHOICES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_CHOICES}, got {self.dispatch!r}"
+            )
 
 
 class Runtime:
@@ -77,7 +95,10 @@ class Runtime:
         handle_words = (
             self.config.cg.handle_words if self.config.cg.enabled else 2
         )
-        self.heap = Heap(self.config.heap_words, handle_words=handle_words)
+        self.heap = Heap(
+            self.config.heap_words, handle_words=handle_words,
+            allocator=self.config.allocator,
+        )
         self.tracer = (
             self.config.tracer if self.config.tracer is not None else NULL_TRACER
         )
@@ -104,6 +125,18 @@ class Runtime:
                 self.collector.reachability_probe = self._assert_unreachable
 
         self.tracing = self._make_tracing(self.config.tracing)
+
+        # Hot-path caches: these getattr/config reads used to happen once
+        # per allocation/store/tick; resolve them once here instead.
+        self._note_allocation = getattr(self.tracing, "note_allocation", None)
+        self._write_barrier_fn = getattr(self.tracing, "write_barrier", None)
+        self._gc_period = self.config.gc_period_ops
+        self._heap_allocate = self.heap.allocate
+        if self._gc_period is None:
+            # No periodic trigger configured: tick degenerates to a counter
+            # bump.  Bind the specialised form as an instance attribute so
+            # front ends that cache ``runtime.tick`` pick it up too.
+            self.tick = self._tick_count_only
 
         self.ops = 0
         self._last_periodic_gc = 0
@@ -180,17 +213,34 @@ class Runtime:
     def allocate(self, cls: Union[str, JClass], thread: JThread,
                  length: Optional[int] = None) -> Handle:
         """Allocate an instance; runs recycling/GC per the thesis's order."""
-        if isinstance(cls, str):
+        if type(cls) is str:
             cls = self.program.lookup(cls)
         if cls.is_array and length is None:
             raise VMError("array allocation requires a length")
-        frame = thread.stack.frames[-1] if thread.stack.frames else self.static_frame
+        frames = thread.stack.frames
+        frame = frames[-1] if frames else self.static_frame
         birth_frame_id = frame.frame_id
         birth_depth = frame.depth
-        handle = self.heap.allocate(
-            cls, thread.thread_id, birth_frame_id, birth_depth, length=length
+        handle = self._heap_allocate(
+            cls, thread.thread_id, birth_frame_id, birth_depth, length
         )
-        if handle is None and self.collector is not None:
+        if handle is None:
+            handle = self._allocate_slow(
+                cls, thread, birth_frame_id, birth_depth, length
+            )
+        collector = self.collector
+        if collector is not None:
+            collector.on_alloc(handle, frame)
+        note = self._note_allocation
+        if note is not None:
+            note(handle)
+        return handle
+
+    def _allocate_slow(self, cls: JClass, thread: JThread, birth_frame_id: int,
+                       birth_depth: int, length: Optional[int]) -> Handle:
+        """Allocation-failure path: recycle list, then GC, then OOM."""
+        handle = None
+        if self.collector is not None:
             # Section 3.7: look for a recyclable dead object before GC.
             donor = self.collector.take_recycled(
                 self.heap.size_of(cls, length), cls=cls
@@ -217,11 +267,6 @@ class Runtime:
                 f"{cls.name} (heap {self.heap.capacity} words, "
                 f"{self.heap.free_list.free_words} free but fragmented)"
             )
-        if self.collector is not None:
-            self.collector.on_alloc(handle, frame)
-        note = getattr(self.tracing, "note_allocation", None)
-        if note is not None:
-            note(handle)
         return handle
 
     def new_string(self, contents: str, thread: Optional[JThread] = None) -> Handle:
@@ -248,17 +293,26 @@ class Runtime:
 
     def store_field(self, container: Handle, name: str, value: object,
                     thread: JThread) -> None:
-        self.access(container, thread)
-        if container.fields is None or name not in container.fields:
+        collector = self.collector
+        if collector is not None:
+            collector.on_access(container, thread.thread_id)
+        else:
+            container.check_live()
+        fields = container.fields
+        if fields is None or name not in fields:
             raise VMError(f"no field {name!r} on {container.cls.name}")
-        container.fields[name] = value
+        fields[name] = value
         if isinstance(value, Handle):
-            self.access(value, thread)
-            if self.collector is not None:
-                self.collector.on_store(container, value)
-            self._write_barrier(container, value)
-        elif self.collector is not None:
-            self.collector.stats.store_events += 1
+            if collector is not None:
+                collector.on_access(value, thread.thread_id)
+                collector.on_store(container, value)
+            else:
+                value.check_live()
+            barrier = self._write_barrier_fn
+            if barrier is not None:
+                barrier(container, value)
+        elif collector is not None:
+            collector.stats.store_events += 1
 
     def load_field(self, container: Handle, name: str, thread: JThread) -> object:
         self.access(container, thread)
@@ -278,13 +332,18 @@ class Runtime:
 
             raise ArrayIndexError(f"index {index} out of [0, {len(elements)})")
         elements[index] = value
+        collector = self.collector
         if isinstance(value, Handle):
-            self.access(value, thread)
-            if self.collector is not None:
-                self.collector.on_store(array, value)
-            self._write_barrier(array, value)
-        elif self.collector is not None:
-            self.collector.stats.store_events += 1
+            if collector is not None:
+                collector.on_access(value, thread.thread_id)
+                collector.on_store(array, value)
+            else:
+                value.check_live()
+            barrier = self._write_barrier_fn
+            if barrier is not None:
+                barrier(array, value)
+        elif collector is not None:
+            collector.stats.store_events += 1
 
     def load_element(self, array: Handle, index: int, thread: JThread) -> object:
         self.access(array, thread)
@@ -319,7 +378,7 @@ class Runtime:
             self.collector.on_areturn(value, caller)
 
     def _write_barrier(self, container: Handle, value: Handle) -> None:
-        barrier = getattr(self.tracing, "write_barrier", None)
+        barrier = self._write_barrier_fn
         if barrier is not None:
             barrier(container, value)
 
@@ -335,10 +394,14 @@ class Runtime:
         locals, temp roots) — so a collection triggered here is safe.
         """
         self.ops += n
-        period = self.config.gc_period_ops
+        period = self._gc_period
         if period is not None and self.ops - self._last_periodic_gc >= period:
             self._last_periodic_gc = self.ops
             self.run_gc()
+
+    def _tick_count_only(self, n: int = 1) -> None:
+        """Specialised :meth:`tick` for runs with no periodic-GC trigger."""
+        self.ops += n
 
     def run_gc(self) -> int:
         """Run the tracing collector with observability around it.

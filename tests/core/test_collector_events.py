@@ -370,3 +370,43 @@ class TestFinalCensus:
         assert census["thread"] == 1
         total = rt.collector.stats.objects_created
         assert census["popped"] + census["static"] + census["thread"] == total
+
+
+class TestSetTracer:
+    """set_tracer must refresh the cached _trace fast-path flag (the
+    collector snapshots ``tracer.enabled`` at construction for speed)."""
+
+    def test_attach_after_construction_records_events(self):
+        from repro.obs.events import NULL_TRACER, Tracer
+
+        rt = make_runtime()
+        collector = rt.collector
+        assert collector.tracer is NULL_TRACER
+        assert collector._trace is False
+
+        tracer = Tracer()
+        collector.set_tracer(tracer)
+        assert collector._trace is True
+        assert collector.recycle._tracer is tracer
+
+        m = Mutator(rt)
+        with m.frame():
+            m.new("Node")
+        assert tracer.kind_counts()["new"] >= 1
+        assert tracer.kind_counts()["frame_pop"] >= 1
+
+    def test_detach_stops_recording(self):
+        from repro.obs.events import NULL_TRACER, Tracer
+
+        rt = make_runtime()
+        tracer = Tracer()
+        rt.collector.set_tracer(tracer)
+        rt.collector.set_tracer(None)
+        assert rt.collector.tracer is NULL_TRACER
+        assert rt.collector._trace is False
+        assert rt.collector.recycle._trace is False
+
+        m = Mutator(rt)
+        with m.frame():
+            m.new("Node")
+        assert len(tracer) == 0

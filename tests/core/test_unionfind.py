@@ -142,3 +142,34 @@ class TestCounters:
         before = ds.finds
         ds.same_set(a, b)
         assert ds.finds == before + 2
+
+
+class TestEnsureGrowth:
+    def test_bulk_growth_matches_incremental(self):
+        bulk, incremental = DisjointSets(), DisjointSets()
+        bulk.ensure(999)
+        for x in range(1000):
+            incremental.ensure(x)
+        assert len(bulk) == len(incremental) == 1000
+        assert all(bulk.find(x) == incremental.find(x) for x in range(1000))
+
+    def test_iterative_deepening_growth(self):
+        # Regression: ensure() once re-walked [0, x] on every call, turning
+        # iterative deepening (grow by one, repeatedly) quadratic.  The
+        # slice-assignment version only ever touches the new suffix, so
+        # growing element-by-element must preserve unions made along the way.
+        ds = DisjointSets()
+        for x in range(0, 2000, 2):
+            ds.ensure(x + 1)
+            ds.union(x, x + 1)
+        assert ds.unions == 1000
+        for x in range(0, 2000, 2):
+            assert ds.same_set(x, x + 1)
+        roots = {ds.find(x) for x in range(2000)}
+        assert len(roots) == 1000
+
+    def test_ensure_never_shrinks(self):
+        ds = DisjointSets()
+        ds.ensure(10)
+        ds.ensure(3)
+        assert len(ds) == 11

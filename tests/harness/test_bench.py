@@ -1,0 +1,92 @@
+"""Benchmark harness: report shape, baseline comparison, CLI exit codes."""
+
+import json
+
+from repro.harness import bench
+
+
+def tiny_report(**overrides):
+    entry = {
+        "workload": "jess", "size": 1, "system": "cg",
+        "wall_seconds": 0.05, "ops": 1000, "ops_per_sec": 20000.0,
+        "alloc_search_steps": 42,
+    }
+    entry.update(overrides)
+    return {"version": bench.BENCH_VERSION, "size": 1, "repeats": 1,
+            "entries": [entry]}
+
+
+class TestRunBench:
+    def test_report_shape_and_determinism_counters(self):
+        report = bench.run_bench(["db"], ["cg", "jdk"], size=1, repeats=1)
+        assert {e["system"] for e in report["entries"]} == {"cg", "jdk"}
+        again = bench.run_bench(["db"], ["cg", "jdk"], size=1, repeats=1)
+        for a, b in zip(report["entries"], again["entries"]):
+            assert a["ops"] == b["ops"]
+            assert a["alloc_search_steps"] == b["alloc_search_steps"]
+            assert a["wall_seconds"] > 0
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        report = tiny_report()
+        path = str(tmp_path / "bench.json")
+        bench.write_bench(path, report)
+        assert bench.load_bench(path) == report
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        ok, lines = bench.compare(tiny_report(), tiny_report())
+        assert ok
+        assert any("geomean" in line for line in lines)
+
+    def test_counter_drift_fails(self):
+        ok, lines = bench.compare(tiny_report(ops=1001), tiny_report())
+        assert not ok
+        assert any("determinism break" in line for line in lines)
+
+    def test_wall_regression_beyond_tolerance_fails(self):
+        ok, _ = bench.compare(tiny_report(wall_seconds=0.07), tiny_report(),
+                              tolerance=0.25)
+        assert not ok
+
+    def test_wall_slowdown_within_tolerance_passes(self):
+        ok, _ = bench.compare(tiny_report(wall_seconds=0.06), tiny_report(),
+                              tolerance=0.25)
+        assert ok
+
+    def test_missing_cells_note_but_pass(self):
+        current = tiny_report()
+        baseline = tiny_report()
+        baseline["entries"].append(
+            dict(baseline["entries"][0], system="jdk"))
+        ok, lines = bench.compare(current, baseline)
+        assert ok
+        assert any("not in current" in line for line in lines)
+
+
+class TestMain:
+    def test_out_and_check_against_self(self, tmp_path):
+        out = str(tmp_path / "report.json")
+        assert bench.main(["--workloads", "db", "--systems", "cg",
+                           "--repeats", "1", "--out", out]) == 0
+        # Counters are deterministic, so self-check always passes unless
+        # the machine got >25% (geomean) slower between the two runs.
+        assert bench.main(["--workloads", "db", "--systems", "cg",
+                           "--repeats", "3", "--check", out,
+                           "--tolerance", "10.0"]) == 0
+
+    def test_check_regression_exit_code(self, tmp_path):
+        out = str(tmp_path / "report.json")
+        assert bench.main(["--workloads", "db", "--systems", "cg",
+                           "--repeats", "1", "--out", out]) == 0
+        baseline = bench.load_bench(out)
+        baseline["entries"][0]["ops"] += 1
+        with open(out, "w") as fh:
+            json.dump(baseline, fh)
+        assert bench.main(["--workloads", "db", "--systems", "cg",
+                           "--repeats", "1", "--check", out]) == 1
+
+    def test_missing_baseline_exit_code(self, tmp_path):
+        assert bench.main(["--workloads", "db", "--systems", "cg",
+                           "--repeats", "1",
+                           "--check", str(tmp_path / "nope.json")]) == 2

@@ -1,0 +1,125 @@
+"""Segregated-fit free list: unit behavior plus the allocator config knob."""
+
+import pytest
+
+from repro.core.policy import CGPolicy
+from repro.harness.runner import run_workload
+from repro.jvm.heap import (
+    ALLOCATOR_CHOICES,
+    FreeList,
+    SegregatedFreeList,
+    _size_class,
+    make_free_list,
+)
+from repro.jvm.runtime import Runtime, RuntimeConfig
+
+
+class TestSizeClasses:
+    def test_exact_classes_are_identity(self):
+        for size in range(1, 33):
+            assert _size_class(size) == size
+
+    def test_range_classes_are_monotonic(self):
+        classes = [_size_class(s) for s in range(1, 5000)]
+        assert classes == sorted(classes)
+
+    def test_powers_of_two_bucket_boundaries(self):
+        assert _size_class(33) == _size_class(64)
+        assert _size_class(64) != _size_class(65)
+        assert _size_class(65) == _size_class(128)
+
+
+class TestSegregatedFreeList:
+    def test_allocate_and_free_roundtrip(self):
+        fl = SegregatedFreeList(1024)
+        a = fl.allocate(10)
+        b = fl.allocate(20)
+        assert a is not None and b is not None
+        assert fl.free_words == 1024 - 30
+        fl.free(a, 10)
+        fl.free(b, 20)
+        assert fl.free_words == 1024
+
+    def test_addresses_never_overlap(self):
+        fl = SegregatedFreeList(512)
+        spans = []
+        for size in [3, 17, 40, 100, 5, 64, 33]:
+            addr = fl.allocate(size)
+            assert addr is not None
+            for other, osize in spans:
+                assert addr + size <= other or other + osize <= addr
+            spans.append((addr, size))
+
+    def test_recycles_freed_block_of_same_class(self):
+        fl = SegregatedFreeList(256)
+        a = fl.allocate(8)
+        fl.free(a, 8)
+        b = fl.allocate(8)
+        assert b == a  # exact bin served the hole back
+
+    def test_search_steps_accounting_monotonic(self):
+        fl = SegregatedFreeList(256)
+        before = fl.search_steps
+        fl.allocate(8)
+        assert fl.search_steps > before
+
+    def test_exhaustion_returns_none(self):
+        fl = SegregatedFreeList(64)
+        assert fl.allocate(60) is not None
+        assert fl.allocate(60) is None
+
+    def test_consolidation_reassembles_fragments(self):
+        fl = SegregatedFreeList(128)
+        addrs = [fl.allocate(8) for _ in range(16)]
+        assert all(a is not None for a in addrs)
+        for a in addrs:
+            fl.free(a, 8)
+        # Each hole sits in the size-8 bin; a 100-word request must trigger
+        # the deferred coalescing pass and then succeed.
+        assert fl.allocate(100) is not None
+
+    def test_replace_free_space_matches_next_fit_contract(self):
+        for cls in (FreeList, SegregatedFreeList):
+            fl = cls(256)
+            fl.allocate(50)
+            fl.replace_free_space([(0, 100), (200, 56)])
+            assert fl.free_words == 156
+            assert fl.largest_block == 100
+
+
+class TestFactory:
+    def test_choices(self):
+        assert make_free_list("next-fit", 64).__class__ is FreeList
+        assert make_free_list("segregated", 64).__class__ is SegregatedFreeList
+        with pytest.raises(ValueError, match="allocator"):
+            make_free_list("bogus", 64)
+
+    def test_runtime_config_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(allocator="bogus")
+        for choice in ALLOCATOR_CHOICES:
+            RuntimeConfig(allocator=choice)
+
+
+class TestAllocatorAblation:
+    def test_runtime_uses_configured_allocator(self):
+        rt = Runtime(RuntimeConfig(allocator="segregated",
+                                   cg=CGPolicy.paper_default()))
+        assert isinstance(rt.heap.free_list, SegregatedFreeList)
+
+    def test_cg_segfit_system_preserves_gc_behavior(self):
+        """The allocator only changes placement, never what CG collects."""
+        base = run_workload("jess", 1, "cg")
+        seg = run_workload("jess", 1, "cg-segfit")
+        assert seg.cg_stats == base.cg_stats
+        assert seg.census == base.census
+        assert seg.ops == base.ops
+        assert seg.objects_created == base.objects_created
+
+    def test_accounting_invariant_holds_under_pressure(self):
+        # A squeezed heap forces frees, GC, and reuse through the
+        # segregated list; run_workload calls heap.check_accounting.
+        base = run_workload("raytrace", 1, "cg")
+        squeezed = max(1024, int(base.peak_live_words * 1.05) + 64)
+        result = run_workload("raytrace", 1, "cg-segfit", heap_words=squeezed)
+        assert result.census == base.census

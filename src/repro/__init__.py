@@ -12,6 +12,12 @@ Public API tour:
 * :class:`repro.Mutator` — the direct-drive API the SPEC-shaped workloads
   use: same collector events, no bytecode dispatch.
 * :mod:`repro.workloads` — the eight SPECjvm98-shaped benchmarks.
+* :func:`repro.run` / :class:`repro.RunRequest` — the stable entry point
+  for executing one measured workload run (see :mod:`repro.api`); every
+  harness surface (figures, bench, CLI) routes through it.
+* :class:`repro.FaultPlan` — deterministic fault injection: arm seeded
+  faults at the allocator, interpreter, native-call, or harness-worker
+  boundary and watch the recovery cascade (see :mod:`repro.faults`).
 * :mod:`repro.harness` — run configurations and regenerate every table and
   figure of the paper's evaluation.
 
@@ -33,9 +39,11 @@ Quickstart::
     print(rt.collector.stats.objects_popped)  # -> 2
 """
 
+from .api import RunRequest, RunResult, run
 from .core.collector import ContaminatedCollector
 from .core.policy import CGPolicy
 from .core.stats import CGStats
+from .faults import CrashDump, FaultPlan, FaultReport, FaultSpec
 from .jvm.assembler import assemble
 from .jvm.errors import OutOfMemoryError, UseAfterCollect, VMError
 from .jvm.heap import Handle, Heap
@@ -49,6 +57,10 @@ __all__ = [
     "CGPolicy",
     "CGStats",
     "ContaminatedCollector",
+    "CrashDump",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
     "Handle",
     "Heap",
     "JClass",
@@ -56,10 +68,13 @@ __all__ = [
     "Mutator",
     "OutOfMemoryError",
     "Program",
+    "RunRequest",
+    "RunResult",
     "Runtime",
     "RuntimeConfig",
     "UseAfterCollect",
     "VMError",
     "assemble",
+    "run",
     "__version__",
 ]

@@ -2,7 +2,8 @@
 
 ``python -m repro 4.1 4.5`` regenerates figures (same interface as
 ``python -m repro.harness.cli``); ``python -m repro bench ...`` runs the
-wall-clock benchmark harness (see :mod:`repro.harness.bench`).
+wall-clock benchmark harness (see :mod:`repro.harness.bench`).  Both
+subcommands execute every cell through :func:`repro.api.run`.
 """
 
 import sys

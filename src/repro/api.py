@@ -1,0 +1,365 @@
+"""The stable programmatic entry surface: one way to run one cell.
+
+Historically the figure runner, the parallel prefetch worker, and the
+bench harness each built their Runtime+Collector with a near-copy of the
+same code.  This module is now the single construction path:
+
+* :func:`run` — ``run(workload, size, system, ...) -> RunResult`` — is
+  what the runner shim, the figure cache, the bench harness, and the CLI
+  all call.
+* :class:`RunRequest` is the explicit form of the same call; :func:`run`
+  is sugar over ``execute(RunRequest(...))``.
+* :func:`config_for` maps a named *system* (the paper's comparison
+  configurations, table below) to a :class:`RuntimeConfig`.
+
+A *system* is one of the named configurations the paper compares:
+
+==============  ==============================================================
+``cg``          CG (with the section 3.4 optimization) + mark-sweep backup —
+                the paper's preferred system
+``cg-noopt``    CG without the optimization (Fig. 4.1's left column)
+``cg-recycle``  CG + the section 3.7 recycling free list (Figs. 4.12/4.13)
+``cg-recycle-typed``  the chapter 6 extension: recycling indexed by
+                (class, size) for O(1) same-type reuse
+``cg-reset``    CG + the section 3.6 reset pass, MSA forced periodically
+``cg-segfit``   CG + mark-sweep on the segregated-fit free list
+``jdk``         the unmodified base system: mark-sweep only
+``cg-nogc``     CG with the tracing collector disabled and ample storage
+``jdk-nogc``    the base system idem (the other half of that comparison)
+``gen``         generational tracing collector, no CG (related work)
+``train``       train-algorithm tracing collector, no CG (section 5.1)
+==============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Union
+
+from .core.policy import CGPolicy
+from .core.stats import CGStats
+from .faults import FaultPlan, did_you_mean
+from .gc.base import GCWork
+from .jvm.runtime import Runtime, RuntimeConfig
+from .obs.events import get_active_tracer
+from .obs.metrics import collect_runtime_metrics
+from .workloads.base import Workload, get_workload
+
+#: Ample heap used by the *-nogc isolation systems.
+BIG_HEAP_WORDS = 1 << 22
+
+#: The thesis ran MSA "every 100,000 JVM instructions" for Fig. 4.11; our
+#: runs are ~20x smaller, so the period scales accordingly.
+RESET_PERIOD_OPS = 5000
+
+SYSTEMS = (
+    "cg", "cg-noopt", "cg-recycle", "cg-recycle-typed", "cg-reset",
+    "cg-segfit", "jdk", "cg-nogc", "cg-noopt-nogc", "jdk-nogc",
+    "gen", "train",
+)
+
+
+def config_for(system: str, heap_words: int,
+               gc_period_ops: Optional[int] = None) -> RuntimeConfig:
+    """Build the RuntimeConfig for a named system."""
+    if system == "cg":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-noopt":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.no_opt(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-recycle":
+        return RuntimeConfig(heap_words=heap_words,
+                             cg=CGPolicy.with_recycling(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-recycle-typed":
+        return RuntimeConfig(heap_words=heap_words,
+                             cg=CGPolicy.with_typed_recycling(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-reset":
+        return RuntimeConfig(
+            heap_words=heap_words, cg=CGPolicy.with_resetting(),
+            tracing="marksweep",
+            gc_period_ops=gc_period_ops or RESET_PERIOD_OPS,
+        )
+    if system == "cg-segfit":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops,
+                             allocator="segregated")
+    if system == "jdk":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops)
+    if system == "cg-nogc":
+        return RuntimeConfig(heap_words=BIG_HEAP_WORDS,
+                             cg=CGPolicy.paper_default(), tracing="none")
+    if system == "cg-noopt-nogc":
+        return RuntimeConfig(heap_words=BIG_HEAP_WORDS,
+                             cg=CGPolicy.no_opt(), tracing="none")
+    if system == "jdk-nogc":
+        return RuntimeConfig(heap_words=BIG_HEAP_WORDS,
+                             cg=CGPolicy.disabled(), tracing="none")
+    if system == "gen":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
+                             tracing="generational")
+    if system == "train":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
+                             tracing="train")
+    raise ValueError(
+        f"unknown system {system!r}{did_you_mean(system, SYSTEMS)}; "
+        f"known: {SYSTEMS}"
+    )
+
+
+@dataclass
+class RunResult:
+    """Everything a figure generator might need from one run."""
+
+    workload: str
+    size: int
+    system: str
+    objects_created: int
+    census: Dict[str, int]
+    cg_stats: Optional[CGStats]
+    gc_work: GCWork
+    cost: "CostBreakdown"
+    wall_seconds: float
+    ops: int
+    alloc_search_steps: int
+    peak_live_words: int
+    heap_words: int
+    #: Unified observability snapshot (``MetricsRegistry.to_dict()``):
+    #: counters/gauges/histograms covering CG stats, heap occupancy,
+    #: allocator work, tracing-GC work, and (when enabled) phase timings.
+    metrics: Dict[str, Dict] = field(default_factory=dict)
+
+    # --- derived metrics used across figures -----------------------------
+
+    @property
+    def collectable_pct(self) -> float:
+        if self.objects_created == 0:
+            return 0.0
+        return 100.0 * self.census.get("popped", 0) / self.objects_created
+
+    @property
+    def static_pct(self) -> float:
+        if self.objects_created == 0:
+            return 0.0
+        return 100.0 * self.census.get("static", 0) / self.objects_created
+
+    @property
+    def thread_pct(self) -> float:
+        if self.objects_created == 0:
+            return 0.0
+        return 100.0 * self.census.get("thread", 0) / self.objects_created
+
+    @property
+    def exact_pct(self) -> float:
+        if self.cg_stats is None or self.objects_created == 0:
+            return 0.0
+        return 100.0 * self.cg_stats.exact_objects / self.objects_created
+
+    @property
+    def sim_ms(self) -> float:
+        return self.cost.total_ms
+
+
+#: CGStats Counter fields whose keys are ints (JSON stringifies dict keys,
+#: so deserialization must convert them back).
+_INT_KEYED_COUNTERS = ("block_size_hist", "age_hist")
+_STR_KEYED_COUNTERS = ("static_pins", "objects_pinned")
+
+
+def result_to_dict(result: RunResult) -> Dict:
+    """Flatten a :class:`RunResult` to JSON-serializable primitives.
+
+    Used by the worker processes of the parallel figure harness and by the
+    on-disk result cache; :func:`result_from_dict` is the exact inverse
+    (modulo JSON's string dict keys, which it restores).
+    """
+    cg_stats = None
+    if result.cg_stats is not None:
+        cg_stats = asdict(result.cg_stats)
+        # asdict() rebuilds each Counter as Counter(pair_iterable), which
+        # *counts the pairs* instead of reconstructing the mapping — so the
+        # Counter fields must be flattened to plain dicts by hand.
+        for name in _INT_KEYED_COUNTERS + _STR_KEYED_COUNTERS:
+            cg_stats[name] = dict(getattr(result.cg_stats, name))
+    return {
+        "workload": result.workload,
+        "size": result.size,
+        "system": result.system,
+        "objects_created": result.objects_created,
+        "census": dict(result.census),
+        "cg_stats": cg_stats,
+        "gc_work": asdict(result.gc_work),
+        "cost": asdict(result.cost),
+        "wall_seconds": result.wall_seconds,
+        "ops": result.ops,
+        "alloc_search_steps": result.alloc_search_steps,
+        "peak_live_words": result.peak_live_words,
+        "heap_words": result.heap_words,
+        "metrics": result.metrics,
+    }
+
+
+def result_from_dict(data: Dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    from .harness.costmodel import CostBreakdown
+
+    cg_stats = None
+    if data["cg_stats"] is not None:
+        raw = dict(data["cg_stats"])
+        for name in _INT_KEYED_COUNTERS:
+            raw[name] = Counter({int(k): v for k, v in raw[name].items()})
+        for name in _STR_KEYED_COUNTERS:
+            raw[name] = Counter(raw[name])
+        cg_stats = CGStats(**raw)
+    return RunResult(
+        workload=data["workload"],
+        size=data["size"],
+        system=data["system"],
+        objects_created=data["objects_created"],
+        census=dict(data["census"]),
+        cg_stats=cg_stats,
+        gc_work=GCWork(**data["gc_work"]),
+        cost=CostBreakdown(**data["cost"]),
+        wall_seconds=data["wall_seconds"],
+        ops=data["ops"],
+        alloc_search_steps=data["alloc_search_steps"],
+        peak_live_words=data["peak_live_words"],
+        heap_words=data["heap_words"],
+        metrics=data.get("metrics", {}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The facade
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunRequest:
+    """The explicit form of a :func:`run` call.
+
+    Exactly one construction path exists: ``config`` (when given) is used
+    as-is and ``system`` becomes a pure label; otherwise the config is
+    built by :func:`config_for` from ``system``/``heap_words``/
+    ``gc_period_ops``.  ``faults`` attaches a :class:`repro.faults.FaultPlan`
+    either way.
+    """
+
+    workload: Union[str, Workload]
+    size: int = 1
+    system: str = "cg"
+    heap_words: Optional[int] = None
+    gc_period_ops: Optional[int] = None
+    seed: int = 2000
+    tracer: Optional[object] = None
+    profile: bool = False
+    faults: Optional[FaultPlan] = None
+    config: Optional[RuntimeConfig] = None
+
+    def build(self) -> "tuple[Workload, RuntimeConfig, int]":
+        """Resolve (workload, config, requested heap words).
+
+        The third element is the heap size *asked for* — the historical
+        ``RunResult.heap_words`` label, which the nogc systems' config may
+        override internally with :data:`BIG_HEAP_WORDS`.
+        """
+        wl = (get_workload(self.workload, self.seed)
+              if isinstance(self.workload, str) else self.workload)
+        if self.config is not None:
+            config = self.config
+            heap = config.heap_words
+        else:
+            heap = (self.heap_words if self.heap_words is not None
+                    else wl.heap_words(self.size))
+            config = config_for(self.system, heap, self.gc_period_ops)
+        if self.tracer is not None:
+            config.tracer = self.tracer
+        elif config.tracer is None:
+            config.tracer = get_active_tracer()
+        if self.profile:
+            config.profile = True
+        if self.faults is not None:
+            config.faults = self.faults
+        return wl, config, heap
+
+
+def execute(request: RunRequest) -> RunResult:
+    """Run one (workload, size, system) cell and gather its results."""
+    from .harness.costmodel import cost_of
+
+    wl, config, heap = request.build()
+    runtime = Runtime(config)
+    started = time.perf_counter()
+    wl.execute(runtime, request.size)
+    wall = time.perf_counter() - started
+
+    if runtime.collector is not None:
+        census = runtime.collector.final_census()
+        cg_stats = runtime.collector.stats
+        objects_created = cg_stats.objects_created
+        runtime.check_cg_invariants()
+        recycled = runtime.collector.recycle.parked_words
+    else:
+        live = runtime.heap.live_count()
+        census = {
+            "popped": 0,
+            "static": live,
+            "thread": 0,
+            "collected_by_msa": runtime.tracing.work.objects_collected,
+        }
+        cg_stats = None
+        objects_created = runtime.heap.objects_created
+        recycled = 0
+    runtime.heap.check_accounting(recycled)
+
+    registry = collect_runtime_metrics(runtime)
+    snapshot = registry.snapshot()
+    return RunResult(
+        workload=wl.name,
+        size=request.size,
+        system=request.system,
+        objects_created=objects_created,
+        census=census,
+        cg_stats=cg_stats,
+        gc_work=runtime.tracing.work,
+        cost=cost_of(runtime),
+        wall_seconds=wall,
+        ops=int(snapshot["vm.ops"]),
+        alloc_search_steps=int(snapshot["alloc.search_steps"]),
+        peak_live_words=int(snapshot["heap.peak_live_words"]),
+        heap_words=heap,
+        metrics=registry.to_dict(),
+    )
+
+
+def run(
+    workload: Union[str, Workload],
+    size: int = 1,
+    system: str = "cg",
+    *,
+    heap_words: Optional[int] = None,
+    gc_period_ops: Optional[int] = None,
+    seed: int = 2000,
+    tracer=None,
+    profile: bool = False,
+    faults: Optional[FaultPlan] = None,
+    config: Optional[RuntimeConfig] = None,
+) -> RunResult:
+    """Execute one cell; the public entry point for everything.
+
+    ``tracer`` installs an event sink for the run; when omitted, the
+    ambient tracer from :func:`repro.obs.tracing_to` (if any) is used.
+    ``profile`` turns on the perf_counter phase timers.  ``faults`` arms a
+    deterministic :class:`~repro.faults.FaultPlan`.  Passing ``config``
+    bypasses :func:`config_for` entirely (``system`` is then just the
+    label recorded on the result).
+    """
+    return execute(RunRequest(
+        workload=workload, size=size, system=system, heap_words=heap_words,
+        gc_period_ops=gc_period_ops, seed=seed, tracer=tracer,
+        profile=profile, faults=faults, config=config,
+    ))

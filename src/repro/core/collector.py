@@ -291,6 +291,48 @@ class ContaminatedCollector:
         return donor
 
     # ------------------------------------------------------------------
+    # Emergency recovery (the allocation cascade's CG-only tier)
+    # ------------------------------------------------------------------
+
+    def emergency_pass(self) -> int:
+        """Reclaim storage using only what CG already knows, no tracing.
+
+        Two pop-driven sweeps: (1) detach equilive blocks whose members
+        have all since been reclaimed out of band (MSA's lazy deletion
+        leaves them on frame lists until the frame pops); (2) flush every
+        parked recycle object back to the free list.  Both only touch
+        provably-dead storage, so no census or collection counter moves —
+        this is exactly what a frame pop/GC would eventually do, done now.
+        Returns the number of parked objects released.
+        """
+        equilive = self.equilive
+        for block in list(equilive.blocks()):
+            if block.live_size() == 0:
+                equilive.detach(block)
+                equilive.forget_members(block)
+        return self.recycle.flush()
+
+    def block_census(self) -> Dict[str, int]:
+        """Instantaneous equilive-block summary for crash dumps."""
+        blocks = live_objects = static_blocks = static_objects = largest = 0
+        for block in self.equilive.blocks():
+            size = block.live_size()
+            blocks += 1
+            live_objects += size
+            if size > largest:
+                largest = size
+            if block.is_static:
+                static_blocks += 1
+                static_objects += size
+        return {
+            "blocks": blocks,
+            "live_objects": live_objects,
+            "static_blocks": static_blocks,
+            "static_objects": static_objects,
+            "largest_block": largest,
+        }
+
+    # ------------------------------------------------------------------
     # Tracing-collector integration
     # ------------------------------------------------------------------
 

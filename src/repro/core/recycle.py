@@ -131,6 +131,16 @@ class RecycleList:
 
     # ------------------------------------------------------------------
 
+    def census(self) -> Dict[str, int]:
+        """Instantaneous parked-storage summary for crash dumps."""
+        sizes = [handle.size for handle in self._dead]
+        return {
+            "parked_objects": len(self._dead),
+            "parked_words": self._parked_words,
+            "largest_parked": max(sizes) if sizes else 0,
+            "typed_buckets": len(self._buckets),
+        }
+
     def _remove_from_dead(self, handle: Handle) -> None:
         # Swap-remove by identity; typed hits are usually near the tail
         # (LIFO reuse keeps recently popped storage hot).

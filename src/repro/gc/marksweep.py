@@ -22,7 +22,7 @@ compact.  Two CG integrations live here:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, Dict, List
 
 from ..jvm.heap import Handle
 from .base import GCWork, mark_from
@@ -64,6 +64,33 @@ class MarkSweepCollector:
         return reclaimed
 
     # ------------------------------------------------------------------
+
+    def backstop_census(self) -> Dict[str, int]:
+        """Measure what CG is retaining, without collecting anything.
+
+        Marks from the roots into a *local* ``GCWork`` (so the run's real
+        counters don't drift), counts live-but-unreachable objects — the
+        conservatism the Karkare et al. line of work quantifies — then
+        clears every mark.  Used by crash dumps only.
+        """
+        work = GCWork()
+        marked = mark_from(self.runtime.iter_roots(), work)
+        live = unreachable_objects = unreachable_words = 0
+        for handle in self.runtime.heap.live_handles():
+            if handle.freed:
+                continue
+            live += 1
+            if not handle.mark:
+                unreachable_objects += 1
+                unreachable_words += handle.size
+        for handle in marked:
+            handle.mark = False
+        return {
+            "live_objects": live,
+            "unreachable_objects": unreachable_objects,
+            "unreachable_words": unreachable_words,
+            "mark_visits": work.mark_visits,
+        }
 
     def _sweep(self) -> int:
         runtime = self.runtime

@@ -26,7 +26,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .runner import run_workload
+from ..api import run as run_workload
 
 #: Grid defaults: the timing-relevant systems (CG, the unmodified base
 #: system, and the segregated-fit allocator ablation).

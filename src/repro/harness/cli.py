@@ -87,10 +87,35 @@ def main(argv=None) -> int:
         help="persist per-cell run results as JSON under DIR and reuse them "
              "across invocations (also: REPRO_RESULT_CACHE env var)",
     )
+    parser.add_argument(
+        "--faults", metavar="SPEC",
+        help="arm a deterministic fault plan for every run, e.g. "
+             "'heap.alloc:oom:after=1000' or "
+             "'harness.worker:crash:cell=jess:count=inf' "
+             "(';'-separated specs; see repro.faults)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout for --jobs prefetch workers; a "
+             "cell that times out is retried, then quarantined",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts per failing/hanging cell before quarantine "
+             "(default: 2)",
+    )
     args = parser.parse_args(argv)
 
     if args.result_cache:
         figures_mod.set_result_cache(args.result_cache)
+
+    if args.faults:
+        try:
+            plan = figures_mod.FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        figures_mod.set_fault_plan(plan)
 
     if args.list:
         for fig_id in ALL_FIGURES:
@@ -118,14 +143,27 @@ def main(argv=None) -> int:
         )
 
     def generate() -> None:
+        # A quarantined cell sinks only the figures that read it; the rest
+        # of the grid still prints, and the skip is reported on stderr.
         for fig_id in wanted:
-            print(ALL_FIGURES[fig_id]())
+            try:
+                print(ALL_FIGURES[fig_id]())
+            except figures_mod.QuarantinedCellError as exc:
+                print(
+                    f"[quarantine] figure {fig_id} skipped: "
+                    f"cell {exc.cell_id} is quarantined "
+                    f"({exc.report.kind if exc.report else 'unknown fault'})",
+                    file=sys.stderr,
+                )
             print()
 
     if args.jobs > 1 and tracer is None:
         # Warm the shared run cache in parallel; the generators then hit it.
         # Skipped under --trace: worker processes would not see the tracer.
-        cells = figures_mod.prefetch(wanted, args.jobs)
+        cells = figures_mod.prefetch(
+            wanted, args.jobs,
+            cell_timeout=args.cell_timeout, retries=args.retries,
+        )
         print(
             f"[prefetch] {cells} cells warmed with {args.jobs} jobs",
             file=sys.stderr,
@@ -146,6 +184,19 @@ def main(argv=None) -> int:
         )
     else:
         generate()
+
+    quarantined = figures_mod.quarantined()
+    if quarantined:
+        print(
+            f"[quarantine] {len(quarantined)} cell(s) quarantined:",
+            file=sys.stderr,
+        )
+        for key, report in sorted(quarantined.items(), key=lambda kv: kv[0][:3]):
+            print(
+                f"[quarantine]   {key[0]}:{key[1]}:{key[2]} -> "
+                f"{report.site}/{report.kind}: {report.message}",
+                file=sys.stderr,
+            )
 
     if args.metrics:
         records = [

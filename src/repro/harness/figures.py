@@ -12,11 +12,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..api import RunResult, config_for, result_from_dict, result_to_dict
+from ..api import run as api_run
+from ..faults import (
+    FaultError,
+    FaultPlan,
+    FaultReport,
+    QuarantinedCellError,
+    WorkerFault,
+)
 from ..workloads.base import SIZE_NAMES
-from .runner import RunResult, result_from_dict, result_to_dict, run_workload
 from .tables import Table, pct
 
 #: Benchmarks in the paper's table order (Fig. 4.1).
@@ -28,8 +37,13 @@ TIMING_BENCHES = [b for b in BENCH_ORDER if b != "mtrt"]
 
 _CACHE: Dict[Tuple, RunResult] = {}
 
+#: Cells that exhausted their retries under the parallel harness; reading
+#: one raises QuarantinedCellError instead of hanging or recomputing.
+_QUARANTINE: Dict[Tuple, FaultReport] = {}
+
 #: Bump when run semantics change in a way that invalidates stored results.
-_CACHE_VERSION = 1
+#: v2: keys grew the RuntimeConfig fingerprint (allocator/dispatch/faults).
+_CACHE_VERSION = 2
 
 #: Disk cache directory (None disables).  Seeded from the environment so
 #: subprocesses and CI jobs can opt in without CLI plumbing.
@@ -38,11 +52,39 @@ _RESULT_CACHE_DIR: Optional[Path] = (
     if os.environ.get("REPRO_RESULT_CACHE") else None
 )
 
+#: Ambient fault plan applied to every cell run through this module (set
+#: by the CLI's --faults); workers receive a serialized copy.
+_FAULT_PLAN: Optional[FaultPlan] = None
+
+
+def set_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Arm ``plan`` for all subsequent cached/prefetched runs (None disarms)."""
+    global _FAULT_PLAN
+    _FAULT_PLAN = plan
+
 
 def set_result_cache(path: Optional[str]) -> None:
     """Point the persistent result cache at ``path`` (None disables it)."""
     global _RESULT_CACHE_DIR
     _RESULT_CACHE_DIR = Path(path) if path else None
+
+
+def cell_key(workload: str, size: int, system: str,
+             gc_period_ops: Optional[int] = None,
+             heap_words: Optional[int] = None,
+             plan: Optional[FaultPlan] = None) -> Tuple:
+    """The cache key for one grid cell.
+
+    Includes the full :meth:`RuntimeConfig.fingerprint` of the config the
+    cell will run under (allocator, dispatch, CG policy, fault plan, ...),
+    so a config change can never serve a stale cached result.  The heap
+    size passed to ``config_for`` here is a placeholder: the fingerprint
+    deliberately excludes ``heap_words``, which is its own key axis.
+    """
+    config = config_for(system, heap_words or (1 << 20), gc_period_ops)
+    config.faults = plan
+    return (workload, size, system, gc_period_ops, heap_words,
+            config.fingerprint())
 
 
 def _cache_file(key: Tuple) -> Optional[Path]:
@@ -80,14 +122,17 @@ def _disk_store(key: Tuple, result: RunResult) -> None:
 def cached_run(workload: str, size: int, system: str,
                gc_period_ops: Optional[int] = None,
                heap_words: Optional[int] = None) -> RunResult:
-    key = (workload, size, system, gc_period_ops, heap_words)
+    plan = _FAULT_PLAN
+    key = cell_key(workload, size, system, gc_period_ops, heap_words, plan)
+    if key in _QUARANTINE:
+        raise QuarantinedCellError(key, _QUARANTINE[key])
     result = _CACHE.get(key)
     if result is None:
         result = _disk_load(key)
         if result is None:
-            result = run_workload(
+            result = api_run(
                 workload, size, system, gc_period_ops=gc_period_ops,
-                heap_words=heap_words,
+                heap_words=heap_words, faults=plan,
             )
             _disk_store(key, result)
         _CACHE[key] = result
@@ -107,6 +152,12 @@ def pressured_heap(workload: str, size: int) -> int:
 
 def clear_cache() -> None:
     _CACHE.clear()
+    _QUARANTINE.clear()
+
+
+def quarantined() -> Dict[Tuple, FaultReport]:
+    """Cells quarantined by the parallel harness, with their reports."""
+    return dict(_QUARANTINE)
 
 
 def cached_results() -> List[RunResult]:
@@ -376,8 +427,8 @@ def figA_5_6_7(size: int, repetitions: int = 5) -> Table:
     )
     for name in BENCH_ORDER:
         for _ in range(repetitions):
-            cg = run_workload(name, size, "cg")
-            jdk = run_workload(name, size, "jdk")
+            cg = api_run(name, size, "cg")
+            jdk = api_run(name, size, "jdk")
             table.add_row(
                 name, round(cg.sim_ms, 3), round(jdk.sim_ms, 3),
                 round(cg.wall_seconds, 4), round(jdk.wall_seconds, 4),
@@ -452,21 +503,89 @@ _PRESSURED_FIGURES: Dict[str, List[str]] = {
 }
 
 
-def _run_cell(key: Tuple) -> Tuple[Tuple, Dict]:
+def _cell_id(key: Tuple) -> str:
+    """Human-readable cell id (``workload:size:system``) for fault specs."""
+    return f"{key[0]}:{key[1]}:{key[2]}"
+
+
+def _simulate_worker_fault(inject: Optional[Dict]) -> None:
+    """Apply a ``harness.worker`` injection inside the (sub)process.
+
+    ``hang`` sleeps (so a per-cell timeout or a generous one both get
+    exercised) and then proceeds; ``crash`` raises a picklable
+    :class:`WorkerFault` — never ``os._exit``, which would poison the
+    whole process pool instead of one future.
+    """
+    if not inject:
+        return
+    if inject["kind"] == "hang":
+        time.sleep(float(inject.get("seconds", 2.0)))
+        return
+    raise WorkerFault(FaultReport(
+        site="harness.worker", kind="crash",
+        message=f"injected worker crash in cell {inject.get('cell', '?')}",
+        context={"cell": inject.get("cell", "?"),
+                 "attempt": inject.get("attempt", 0)},
+    ))
+
+
+def _run_cell(key: Tuple, inject: Optional[Dict] = None,
+              plan_dict: Optional[Dict] = None) -> Tuple[Tuple, Dict]:
     """Worker-process entry point: execute one cell, return it flattened."""
-    workload, size, system, gc_period_ops, heap_words = key
-    result = run_workload(
+    workload, size, system, gc_period_ops, heap_words = key[:5]
+    _simulate_worker_fault(inject)
+    plan = FaultPlan.from_dict(plan_dict) if plan_dict else None
+    result = api_run(
         workload, size, system, gc_period_ops=gc_period_ops,
-        heap_words=heap_words,
+        heap_words=heap_words, faults=plan,
     )
     return key, result_to_dict(result)
 
 
-def _run_wave(keys: List[Tuple], jobs: int) -> None:
-    """Fill the cache for ``keys``, fanning misses out over processes."""
+def _injection_for(plan: Optional[FaultPlan], key: Tuple,
+                   attempt: int) -> Optional[Dict]:
+    if plan is None:
+        return None
+    spec = plan.worker_injection(_cell_id(key), attempt)
+    if spec is None:
+        return None
+    return {"kind": spec.kind, "seconds": spec.seconds,
+            "cell": _cell_id(key), "attempt": attempt}
+
+
+def _quarantine_report(key: Tuple, exc: BaseException,
+                       attempts: int) -> FaultReport:
+    if isinstance(exc, FaultError):
+        report = exc.report
+        report.context = dict(report.context,
+                              cell=_cell_id(key), attempts=attempts)
+        return report
+    kind = "hang" if isinstance(exc, TimeoutError) else "crash"
+    return FaultReport(
+        site="harness.worker", kind=kind,
+        message=f"{type(exc).__name__}: {exc}",
+        context={"cell": _cell_id(key), "attempts": attempts},
+    )
+
+
+#: Retry backoff base (seconds); attempt N waits base * 2**N, capped at 2s.
+_BACKOFF_BASE = 0.1
+
+
+def _run_wave(keys: List[Tuple], jobs: int,
+              cell_timeout: Optional[float] = None, retries: int = 2) -> None:
+    """Fill the cache for ``keys``, fanning misses out over processes.
+
+    Fault tolerance: each cell gets ``1 + retries`` attempts (with
+    exponential backoff between rounds) and, in parallel mode, at most
+    ``cell_timeout`` seconds per attempt.  A cell that exhausts its
+    attempts is quarantined — recorded with its :class:`FaultReport` so
+    the rest of the grid completes and readers get a structured error.
+    """
+    plan = _FAULT_PLAN
     misses = []
     for key in keys:
-        if key in _CACHE:
+        if key in _CACHE or key in _QUARANTINE:
             continue
         result = _disk_load(key)
         if result is not None:
@@ -475,47 +594,91 @@ def _run_wave(keys: List[Tuple], jobs: int) -> None:
             misses.append(key)
     if not misses:
         return
-    if jobs <= 1 or len(misses) == 1:
-        for key in misses:
-            cached_run(*key)
-        return
-    from concurrent.futures import ProcessPoolExecutor, as_completed
+    plan_dict = plan.to_dict() if plan is not None else None
+    attempts = {key: 0 for key in misses}
+    parallel = jobs > 1 and len(misses) > 1
+    pool = None
+    if parallel:
+        from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
-        futures = [pool.submit(_run_cell, key) for key in misses]
-        for future in as_completed(futures):
-            key, data = future.result()
-            result = result_from_dict(data)
-            _CACHE[key] = result
-            _disk_store(key, result)
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(misses)))
+    try:
+        pending = list(misses)
+        round_index = 0
+        while pending:
+            failures: List[Tuple[Tuple, BaseException]] = []
+            if parallel:
+                futures = {}
+                for key in pending:
+                    inject = _injection_for(plan, key, attempts[key])
+                    futures[pool.submit(_run_cell, key, inject, plan_dict)] = key
+                for future, key in futures.items():
+                    try:
+                        k, data = future.result(timeout=cell_timeout)
+                        result = result_from_dict(data)
+                        _CACHE[key] = result
+                        _disk_store(key, result)
+                    except Exception as exc:  # noqa: BLE001 — quarantine path
+                        failures.append((key, exc))
+            else:
+                for key in pending:
+                    inject = _injection_for(plan, key, attempts[key])
+                    try:
+                        _simulate_worker_fault(inject)
+                        cached_run(*key[:5])
+                    except Exception as exc:  # noqa: BLE001 — quarantine path
+                        failures.append((key, exc))
+            pending = []
+            for key, exc in failures:
+                attempts[key] += 1
+                if attempts[key] > retries:
+                    _QUARANTINE[key] = _quarantine_report(
+                        key, exc, attempts[key]
+                    )
+                else:
+                    pending.append(key)
+            if pending:
+                time.sleep(min(2.0, _BACKOFF_BASE * (2 ** round_index)))
+                round_index += 1
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
-def prefetch(figure_ids: Iterable[str], jobs: int) -> int:
+def prefetch(figure_ids: Iterable[str], jobs: int,
+             cell_timeout: Optional[float] = None, retries: int = 2) -> int:
     """Warm the run cache for ``figure_ids`` using ``jobs`` processes.
 
-    Returns the number of cells ensured (cached or computed).  Unknown
-    figure ids are ignored; generators themselves stay sequential.
+    Returns the number of cells ensured (cached, computed, or — when a
+    fault plan sabotages workers — quarantined).  Unknown figure ids are
+    ignored; generators themselves stay sequential.
     """
+    plan = _FAULT_PLAN
     wanted = [f for f in figure_ids if f in ALL_FIGURES]
     wave1: List[Tuple] = []
     for fig in wanted:
         for system, sizes, benches in _FIGURE_CELLS.get(fig, []):
             for size in sizes:
                 for name in benches:
-                    wave1.append((name, size, system, None, None))
+                    wave1.append(cell_key(name, size, system, plan=plan))
         if fig in _PRESSURED_FIGURES:
             # The pressured-heap figures read the cg-nogc peak first.
             for name in BENCH_ORDER:
-                wave1.append((name, 1, "cg-nogc", None, None))
+                wave1.append(cell_key(name, 1, "cg-nogc", plan=plan))
     wave1 = list(dict.fromkeys(wave1))
-    _run_wave(wave1, jobs)
+    _run_wave(wave1, jobs, cell_timeout=cell_timeout, retries=retries)
 
     wave2: List[Tuple] = []
     for fig in wanted:
         for system in _PRESSURED_FIGURES.get(fig, []):
             for name in BENCH_ORDER:
-                heap = pressured_heap(name, 1)
-                wave2.append((name, 1, system, None, heap))
+                try:
+                    heap = pressured_heap(name, 1)
+                except QuarantinedCellError:
+                    continue  # its cg-nogc seed cell was quarantined
+                wave2.append(
+                    cell_key(name, 1, system, heap_words=heap, plan=plan)
+                )
     wave2 = list(dict.fromkeys(wave2))
-    _run_wave(wave2, jobs)
+    _run_wave(wave2, jobs, cell_timeout=cell_timeout, retries=retries)
     return len(wave1) + len(wave2)

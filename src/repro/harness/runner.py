@@ -1,224 +1,42 @@
-"""Run (workload, size, system) combinations and collect everything.
+"""Deprecated shim over :mod:`repro.api` (the stable entry surface).
 
-A *system* is one of the named configurations the paper compares:
-
-==============  ==============================================================
-``cg``          CG (with the section 3.4 optimization) + mark-sweep backup —
-                the paper's preferred system
-``cg-noopt``    CG without the optimization (Fig. 4.1's left column)
-``cg-recycle``  CG + the section 3.7 recycling free list (Figs. 4.12/4.13)
-``cg-recycle-typed``  the chapter 6 extension: recycling indexed by
-                (class, size) for O(1) same-type reuse
-``cg-reset``    CG + the section 3.6 reset pass, MSA forced periodically
-                (Fig. 4.11's protocol: "GC every 100,000 instructions",
-                scaled to this substrate)
-``cg-segfit``   CG + mark-sweep on the segregated-fit free list (an
-                allocator ablation; everything else matches ``cg``)
-``jdk``         the unmodified base system: mark-sweep only
-``cg-nogc``     CG with the tracing collector disabled and ample storage
-                (section 4.5's overhead-isolation setup)
-``jdk-nogc``    the base system idem (the other half of that comparison)
-``gen``         generational tracing collector, no CG (related work)
-``train``       train-algorithm tracing collector, no CG (section 5.1)
-==============  ==============================================================
+Everything that used to live here — the system table, ``config_for``,
+:class:`RunResult`, the serialization helpers, and ``run_workload`` — moved
+to :mod:`repro.api` so the runner, the figure cache, the bench harness,
+and the CLI share one construction path.  The names are re-exported here
+for compatibility; ``run_workload`` additionally warns, since
+:func:`repro.api.run` is its direct replacement.
 """
 
 from __future__ import annotations
 
-import time
-from collections import Counter
-from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional, Union
+import warnings
+from typing import Optional, Union
 
-from ..core.policy import CGPolicy
-from ..core.stats import CGStats
-from ..gc.base import GCWork
-from ..jvm.runtime import Runtime, RuntimeConfig
-from ..obs.events import get_active_tracer
-from ..obs.metrics import collect_runtime_metrics
-from ..workloads.base import Workload, get_workload
-from .costmodel import CostBreakdown, cost_of
-
-#: Ample heap used by the *-nogc isolation systems.
-BIG_HEAP_WORDS = 1 << 22
-
-#: The thesis ran MSA "every 100,000 JVM instructions" for Fig. 4.11; our
-#: runs are ~20x smaller, so the period scales accordingly.
-RESET_PERIOD_OPS = 5000
-
-SYSTEMS = (
-    "cg", "cg-noopt", "cg-recycle", "cg-recycle-typed", "cg-reset",
-    "cg-segfit", "jdk", "cg-nogc", "cg-noopt-nogc", "jdk-nogc",
-    "gen", "train",
+from ..api import (
+    BIG_HEAP_WORDS,
+    RESET_PERIOD_OPS,
+    SYSTEMS,
+    RunRequest,
+    RunResult,
+    config_for,
+    result_from_dict,
+    result_to_dict,
 )
+from ..api import run as _run
+from ..workloads.base import Workload
 
-
-def config_for(system: str, heap_words: int,
-               gc_period_ops: Optional[int] = None) -> RuntimeConfig:
-    """Build the RuntimeConfig for a named system."""
-    if system == "cg":
-        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
-                             tracing="marksweep", gc_period_ops=gc_period_ops)
-    if system == "cg-noopt":
-        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.no_opt(),
-                             tracing="marksweep", gc_period_ops=gc_period_ops)
-    if system == "cg-recycle":
-        return RuntimeConfig(heap_words=heap_words,
-                             cg=CGPolicy.with_recycling(),
-                             tracing="marksweep", gc_period_ops=gc_period_ops)
-    if system == "cg-recycle-typed":
-        return RuntimeConfig(heap_words=heap_words,
-                             cg=CGPolicy.with_typed_recycling(),
-                             tracing="marksweep", gc_period_ops=gc_period_ops)
-    if system == "cg-reset":
-        return RuntimeConfig(
-            heap_words=heap_words, cg=CGPolicy.with_resetting(),
-            tracing="marksweep",
-            gc_period_ops=gc_period_ops or RESET_PERIOD_OPS,
-        )
-    if system == "cg-segfit":
-        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
-                             tracing="marksweep", gc_period_ops=gc_period_ops,
-                             allocator="segregated")
-    if system == "jdk":
-        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
-                             tracing="marksweep", gc_period_ops=gc_period_ops)
-    if system == "cg-nogc":
-        return RuntimeConfig(heap_words=BIG_HEAP_WORDS,
-                             cg=CGPolicy.paper_default(), tracing="none")
-    if system == "cg-noopt-nogc":
-        return RuntimeConfig(heap_words=BIG_HEAP_WORDS,
-                             cg=CGPolicy.no_opt(), tracing="none")
-    if system == "jdk-nogc":
-        return RuntimeConfig(heap_words=BIG_HEAP_WORDS,
-                             cg=CGPolicy.disabled(), tracing="none")
-    if system == "gen":
-        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
-                             tracing="generational")
-    if system == "train":
-        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
-                             tracing="train")
-    raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
-
-
-@dataclass
-class RunResult:
-    """Everything a figure generator might need from one run."""
-
-    workload: str
-    size: int
-    system: str
-    objects_created: int
-    census: Dict[str, int]
-    cg_stats: Optional[CGStats]
-    gc_work: GCWork
-    cost: CostBreakdown
-    wall_seconds: float
-    ops: int
-    alloc_search_steps: int
-    peak_live_words: int
-    heap_words: int
-    #: Unified observability snapshot (``MetricsRegistry.to_dict()``):
-    #: counters/gauges/histograms covering CG stats, heap occupancy,
-    #: allocator work, tracing-GC work, and (when enabled) phase timings.
-    metrics: Dict[str, Dict] = field(default_factory=dict)
-
-    # --- derived metrics used across figures -----------------------------
-
-    @property
-    def collectable_pct(self) -> float:
-        if self.objects_created == 0:
-            return 0.0
-        return 100.0 * self.census.get("popped", 0) / self.objects_created
-
-    @property
-    def static_pct(self) -> float:
-        if self.objects_created == 0:
-            return 0.0
-        return 100.0 * self.census.get("static", 0) / self.objects_created
-
-    @property
-    def thread_pct(self) -> float:
-        if self.objects_created == 0:
-            return 0.0
-        return 100.0 * self.census.get("thread", 0) / self.objects_created
-
-    @property
-    def exact_pct(self) -> float:
-        if self.cg_stats is None or self.objects_created == 0:
-            return 0.0
-        return 100.0 * self.cg_stats.exact_objects / self.objects_created
-
-    @property
-    def sim_ms(self) -> float:
-        return self.cost.total_ms
-
-
-#: CGStats Counter fields whose keys are ints (JSON stringifies dict keys,
-#: so deserialization must convert them back).
-_INT_KEYED_COUNTERS = ("block_size_hist", "age_hist")
-_STR_KEYED_COUNTERS = ("static_pins", "objects_pinned")
-
-
-def result_to_dict(result: RunResult) -> Dict:
-    """Flatten a :class:`RunResult` to JSON-serializable primitives.
-
-    Used by the worker processes of the parallel figure harness and by the
-    on-disk result cache; :func:`result_from_dict` is the exact inverse
-    (modulo JSON's string dict keys, which it restores).
-    """
-    cg_stats = None
-    if result.cg_stats is not None:
-        cg_stats = asdict(result.cg_stats)
-        # asdict() rebuilds each Counter as Counter(pair_iterable), which
-        # *counts the pairs* instead of reconstructing the mapping — so the
-        # Counter fields must be flattened to plain dicts by hand.
-        for name in _INT_KEYED_COUNTERS + _STR_KEYED_COUNTERS:
-            cg_stats[name] = dict(getattr(result.cg_stats, name))
-    return {
-        "workload": result.workload,
-        "size": result.size,
-        "system": result.system,
-        "objects_created": result.objects_created,
-        "census": dict(result.census),
-        "cg_stats": cg_stats,
-        "gc_work": asdict(result.gc_work),
-        "cost": asdict(result.cost),
-        "wall_seconds": result.wall_seconds,
-        "ops": result.ops,
-        "alloc_search_steps": result.alloc_search_steps,
-        "peak_live_words": result.peak_live_words,
-        "heap_words": result.heap_words,
-        "metrics": result.metrics,
-    }
-
-
-def result_from_dict(data: Dict) -> RunResult:
-    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
-    cg_stats = None
-    if data["cg_stats"] is not None:
-        raw = dict(data["cg_stats"])
-        for name in _INT_KEYED_COUNTERS:
-            raw[name] = Counter({int(k): v for k, v in raw[name].items()})
-        for name in _STR_KEYED_COUNTERS:
-            raw[name] = Counter(raw[name])
-        cg_stats = CGStats(**raw)
-    return RunResult(
-        workload=data["workload"],
-        size=data["size"],
-        system=data["system"],
-        objects_created=data["objects_created"],
-        census=dict(data["census"]),
-        cg_stats=cg_stats,
-        gc_work=GCWork(**data["gc_work"]),
-        cost=CostBreakdown(**data["cost"]),
-        wall_seconds=data["wall_seconds"],
-        ops=data["ops"],
-        alloc_search_steps=data["alloc_search_steps"],
-        peak_live_words=data["peak_live_words"],
-        heap_words=data["heap_words"],
-        metrics=data.get("metrics", {}),
-    )
+__all__ = [
+    "BIG_HEAP_WORDS",
+    "RESET_PERIOD_OPS",
+    "SYSTEMS",
+    "RunRequest",
+    "RunResult",
+    "config_for",
+    "result_from_dict",
+    "result_to_dict",
+    "run_workload",
+]
 
 
 def run_workload(
@@ -231,57 +49,15 @@ def run_workload(
     tracer=None,
     profile: bool = False,
 ) -> RunResult:
-    """Execute one (workload, size, system) cell and gather its results.
-
-    ``tracer`` installs an event sink for the run; when omitted, the
-    ambient tracer from :func:`repro.obs.tracing_to` (if any) is used, so
-    figure generators can be traced without new plumbing.  ``profile``
-    turns on the perf_counter phase timers.
-    """
-    wl = get_workload(workload, seed) if isinstance(workload, str) else workload
-    heap = heap_words if heap_words is not None else wl.heap_words(size)
-    config = config_for(system, heap, gc_period_ops)
-    config.tracer = tracer if tracer is not None else get_active_tracer()
-    config.profile = profile
-    runtime = Runtime(config)
-    started = time.perf_counter()
-    wl.execute(runtime, size)
-    wall = time.perf_counter() - started
-
-    if runtime.collector is not None:
-        census = runtime.collector.final_census()
-        cg_stats = runtime.collector.stats
-        objects_created = cg_stats.objects_created
-        runtime.check_cg_invariants()
-        recycled = runtime.collector.recycle.parked_words
-    else:
-        live = runtime.heap.live_count()
-        census = {
-            "popped": 0,
-            "static": live,
-            "thread": 0,
-            "collected_by_msa": runtime.tracing.work.objects_collected,
-        }
-        cg_stats = None
-        objects_created = runtime.heap.objects_created
-        recycled = 0
-    runtime.heap.check_accounting(recycled)
-
-    registry = collect_runtime_metrics(runtime)
-    snapshot = registry.snapshot()
-    return RunResult(
-        workload=wl.name,
-        size=size,
-        system=system,
-        objects_created=objects_created,
-        census=census,
-        cg_stats=cg_stats,
-        gc_work=runtime.tracing.work,
-        cost=cost_of(runtime),
-        wall_seconds=wall,
-        ops=int(snapshot["vm.ops"]),
-        alloc_search_steps=int(snapshot["alloc.search_steps"]),
-        peak_live_words=int(snapshot["heap.peak_live_words"]),
-        heap_words=heap,
-        metrics=registry.to_dict(),
+    """Deprecated: call :func:`repro.api.run` instead (same signature)."""
+    warnings.warn(
+        "repro.harness.runner.run_workload is deprecated; "
+        "use repro.api.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run(
+        workload, size, system, heap_words=heap_words,
+        gc_period_ops=gc_period_ops, seed=seed, tracer=tracer,
+        profile=profile,
     )

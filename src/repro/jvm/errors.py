@@ -15,7 +15,16 @@ class VMError(Exception):
 
 
 class OutOfMemoryError(VMError):
-    """The heap could not satisfy an allocation even after garbage collection."""
+    """The heap could not satisfy an allocation even after garbage collection.
+
+    ``dump`` (when present) is a JSON-serializable crash dump captured by
+    :class:`repro.faults.CrashDump` after the whole recovery cascade —
+    recycle search, CG emergency pass, mark-sweep backstop — came up empty.
+    """
+
+    def __init__(self, message: str = "", dump=None):
+        super().__init__(message)
+        self.dump = dump
 
 
 class UseAfterCollect(VMError):

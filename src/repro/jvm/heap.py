@@ -453,6 +453,10 @@ class Heap:
         # replaced (compaction installs new maps via replace_free_space).
         self._fl_allocate = self.free_list.allocate
         self.allocator = allocator
+        #: Fault-injection probe (repro.faults): when set, consulted once
+        #: per allocation and a True return synthesizes exhaustion.  None
+        #: keeps the hot path at a single is-not-None test.
+        self._alloc_fault = None
         self.capacity = capacity_words
         self.handle_words = handle_words
         self._handles: Dict[int, Handle] = {}
@@ -491,6 +495,9 @@ class Heap:
         else:
             nfields = len(cls.fields)
             size = OBJECT_HEADER_WORDS + (nfields if nfields else 1)
+        fault = self._alloc_fault
+        if fault is not None and fault(size):
+            return None
         addr = self._fl_allocate(size)
         if addr is None:
             return None
@@ -586,6 +593,10 @@ class Heap:
     def handle_region_words(self) -> int:
         """Accounted size of the handle region for the live object count."""
         return self.live_count() * self.handle_words
+
+    def set_alloc_fault(self, probe) -> None:
+        """Install (or clear) the allocation fault probe (repro.faults)."""
+        self._alloc_fault = probe
 
     def occupancy(self) -> Dict[str, float]:
         """Instantaneous heap gauges for the metrics registry.

@@ -24,6 +24,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
+from ..faults import NativeCallFault, TrapFault, inject
 from ..obs.profile import PHASE_INTERPRET
 from . import bytecode as bc
 from .errors import NullPointerError, VerifyError, VMError
@@ -427,6 +428,13 @@ class Interpreter:
         self._sync_results: Dict[int, object] = {}
         if runtime.config.dispatch == "chain":
             self.step_n = self._step_n_chain
+        plan = runtime.config.faults
+        if plan is not None and plan.arms("interp.step"):
+            # Wrap whichever dispatch loop was just selected.  The wrapper
+            # slices budgets at firing points, so the inner loops stay
+            # untouched and the no-fault path pays nothing.
+            self._inner_step_n = self.step_n
+            self.step_n = self._step_n_faulted
 
     # ------------------------------------------------------------------
     # Entry points
@@ -486,6 +494,15 @@ class Interpreter:
 
     def _run_native(self, thread: JThread, method: JMethod,
                     args: List[object]) -> object:
+        runtime = self.runtime
+        plan = runtime.config.faults
+        if plan is not None and plan.should_fire("native.call"):
+            report = inject(
+                runtime, "native.call", "escape",
+                f"injected native-call failure in {method.qualified_name}",
+                method=method.qualified_name, thread=thread.name,
+            )
+            raise NativeCallFault(report)
         env = NativeEnv(self.runtime, thread)
         result = method.native(env, args)
         if isinstance(result, Handle):
@@ -523,6 +540,40 @@ class Interpreter:
     # ------------------------------------------------------------------
     # The dispatch loop
     # ------------------------------------------------------------------
+
+    def _step_n_faulted(self, thread: JThread, budget: int,
+                        stop_depth: int = 0) -> int:
+        """``step_n`` wrapper installed when ``interp.step`` is armed.
+
+        Runs the real loop in chunks sized to the next firing point; at the
+        firing point it raises a :class:`TrapFault` carrying a crash dump —
+        the deterministic analogue of hitting a corrupt opcode.
+        """
+        runtime = self.runtime
+        plan = runtime.config.faults
+        inner = self._inner_step_n
+        total = 0
+        while total < budget:
+            gap = plan.hits_until_fire("interp.step")
+            if gap is None:
+                return total + inner(thread, budget - total, stop_depth)
+            if gap == 0:
+                firing = plan.consume_fire("interp.step")
+                report = inject(
+                    runtime, "interp.step", "trap",
+                    f"injected trap at instruction "
+                    f"{self.instructions_executed} (firing {firing})",
+                    thread=thread.name, depth=thread.stack.depth,
+                )
+                raise TrapFault(report)
+            chunk = min(budget - total, gap)
+            executed = inner(thread, chunk, stop_depth)
+            plan.charge("interp.step", executed)
+            total += executed
+            if executed < chunk:
+                # The thread drained to stop_depth; no more instructions.
+                return total
+        return total
 
     def step_n(self, thread: JThread, budget: int, stop_depth: int = 0) -> int:
         """Execute up to ``budget`` instructions on ``thread``.

@@ -38,6 +38,16 @@ class NativeEnv:
 
     def call(self, qualified: str, args: List[object]) -> object:
         """Call back into Java; reference results are pinned at the boundary."""
+        plan = self.runtime.config.faults
+        if plan is not None and plan.should_fire("native.call"):
+            from ..faults import NativeCallFault, inject
+
+            report = inject(
+                self.runtime, "native.call", "escape",
+                f"injected escape failure calling back into {qualified}",
+                method=qualified, thread=self.thread.name,
+            )
+            raise NativeCallFault(report)
         result = self.runtime.invoke(qualified, args, thread=self.thread)
         if isinstance(result, Handle) and self.runtime.collector is not None:
             self.runtime.collector.on_native_escape(result)

@@ -15,12 +15,16 @@ collector and retry; only then raise OutOfMemoryError.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
 
 from time import perf_counter
 
 from ..core.policy import CGPolicy
+from ..faults import CrashDump, FaultPlan, did_you_mean
 from ..obs.events import NULL_TRACER
 from ..obs.profile import NULL_PROFILER, PHASE_MSA, PhaseProfiler
 from .errors import IllegalStateError, OutOfMemoryError, VMError
@@ -66,11 +70,16 @@ class RuntimeConfig:
     #: tuple) or "chain" (the original if/elif reference, kept for the
     #: opcode-parity differential suite).
     dispatch: str = "table"
+    #: Deterministic fault-injection plan (:mod:`repro.faults`).  None —
+    #: the default for every figure and bench run — keeps each hook at a
+    #: single is-not-None test, so results stay bit-identical.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.tracing not in TRACING_CHOICES:
             raise ValueError(
                 f"tracing must be one of {TRACING_CHOICES}, got {self.tracing!r}"
+                f"{did_you_mean(self.tracing, TRACING_CHOICES)}"
             )
         if self.heap_words <= 0:
             raise ValueError("heap_words must be positive")
@@ -78,11 +87,36 @@ class RuntimeConfig:
             raise ValueError(
                 f"allocator must be one of {ALLOCATOR_CHOICES}, "
                 f"got {self.allocator!r}"
+                f"{did_you_mean(self.allocator, ALLOCATOR_CHOICES)}"
             )
         if self.dispatch not in DISPATCH_CHOICES:
             raise ValueError(
                 f"dispatch must be one of {DISPATCH_CHOICES}, got {self.dispatch!r}"
+                f"{did_you_mean(self.dispatch, DISPATCH_CHOICES)}"
             )
+
+    def fingerprint(self) -> str:
+        """Digest of every field that changes a run's *results*.
+
+        ``heap_words`` is excluded because the result cache keys it
+        explicitly; ``tracer`` and ``profile`` are excluded because they
+        observe a run without altering its counters.
+        """
+        payload = {
+            "cg": asdict(self.cg),
+            "tracing": self.tracing,
+            "compaction": self.compaction,
+            "gc_period_ops": self.gc_period_ops,
+            "quantum": self.quantum,
+            "allocator": self.allocator,
+            "dispatch": self.dispatch,
+            "faults": self.faults.fingerprint() if self.faults is not None
+                      else None,
+        }
+        digest = hashlib.sha1(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+        return digest[:12]
 
 
 class Runtime:
@@ -125,6 +159,17 @@ class Runtime:
                 self.collector.reachability_probe = self._assert_unreachable
 
         self.tracing = self._make_tracing(self.config.tracing)
+
+        #: Fault-injection and recovery accounting: ``injected.<site>``,
+        #: ``recovered.<tier>``, ``oom.dumps``.  Always present (cheap),
+        #: folded into the ``fault.`` metrics namespace only when nonzero.
+        self.fault_stats: Counter = Counter()
+        plan = self.config.faults
+        if plan is not None:
+            # Arming is per-runtime: every run replays the same schedule.
+            plan.rearm()
+            if plan.arms("heap.alloc"):
+                self.heap.set_alloc_fault(self._alloc_fault_probe)
 
         # Hot-path caches: these getattr/config reads used to happen once
         # per allocation/store/tick; resolve them once here instead.
@@ -236,37 +281,85 @@ class Runtime:
             note(handle)
         return handle
 
+    def _alloc_fault_probe(self, size: int) -> bool:
+        """Heap-installed hook: synthesize exhaustion per the fault plan."""
+        plan = self.config.faults
+        if plan is None or not plan.should_fire("heap.alloc"):
+            return False
+        self.fault_stats["injected.heap.alloc"] += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("fault_inject", site="heap.alloc", fault="oom",
+                        firing=plan.fired("heap.alloc"), ops=self.ops,
+                        size=size)
+        return True
+
     def _allocate_slow(self, cls: JClass, thread: JThread, birth_frame_id: int,
                        birth_depth: int, length: Optional[int]) -> Handle:
-        """Allocation-failure path: recycle list, then GC, then OOM."""
+        """Allocation-failure recovery cascade: recycle search, CG emergency
+        pass, mark-sweep backstop, then a structured OutOfMemoryError.
+
+        The tier order (and every call made along it) matches the thesis's
+        section 3.7 protocol exactly, so an un-faulted run's counters are
+        bit-identical to the pre-cascade implementation; the additions are
+        accounting (``fault_stats``), ``degrade``/``oom_recover`` trace
+        events, and the crash dump attached to the terminal OOM.
+        """
+        tracer = self.tracer
+        trace = tracer.enabled
+        size = self.heap.size_of(cls, length)
         handle = None
+        tier = None
         if self.collector is not None:
-            # Section 3.7: look for a recyclable dead object before GC.
-            donor = self.collector.take_recycled(
-                self.heap.size_of(cls, length), cls=cls
-            )
+            # Tier 1 (section 3.7): adopt a recyclable dead object's storage.
+            if trace:
+                tracer.emit("degrade", tier="recycle", size=size, ops=self.ops)
+            donor = self.collector.take_recycled(size, cls=cls)
             if donor is not None:
                 handle = self.heap.adopt_storage(
                     donor, cls, thread.thread_id, birth_frame_id, birth_depth,
                     length=length,
                 )
+                tier = "recycle"
             elif self.collector.policy.recycling and len(self.collector.recycle):
-                self.collector.recycle.flush()
+                # Tier 2: CG emergency pass — prune fully-dead equilive
+                # blocks and return all parked recycle storage to the free
+                # list, then retry without tracing a single pointer.
+                if trace:
+                    tracer.emit("degrade", tier="emergency", size=size,
+                                ops=self.ops)
+                self.collector.emergency_pass()
                 handle = self.heap.allocate(
                     cls, thread.thread_id, birth_frame_id, birth_depth,
                     length=length,
                 )
+                tier = "emergency"
         if handle is None:
+            # Tier 3: the traditional tracing collector (the backstop CG is
+            # designed to "operate in concert with", thesis chapter 1).
+            if trace:
+                tracer.emit("degrade", tier="backstop", size=size, ops=self.ops)
             self.run_gc()
             handle = self.heap.allocate(
                 cls, thread.thread_id, birth_frame_id, birth_depth, length=length
             )
+            tier = "backstop"
         if handle is None:
-            raise OutOfMemoryError(
-                f"cannot allocate {self.heap.size_of(cls, length)} words of "
+            self.fault_stats["oom.dumps"] += 1
+            message = (
+                f"cannot allocate {size} words of "
                 f"{cls.name} (heap {self.heap.capacity} words, "
                 f"{self.heap.free_list.free_words} free but fragmented)"
             )
+            dump = CrashDump.capture(
+                self, reason=message, site="heap.alloc",
+                request={"cls": cls.name, "words": size,
+                         "thread": thread.name},
+            )
+            raise OutOfMemoryError(message, dump=dump.to_dict())
+        self.fault_stats[f"recovered.{tier}"] += 1
+        if trace:
+            tracer.emit("oom_recover", tier=tier, size=size, ops=self.ops)
         return handle
 
     def new_string(self, contents: str, thread: Optional[JThread] = None) -> Handle:

@@ -45,6 +45,9 @@ EVENT_KINDS = (
     "recycle_miss",   # the recycle search found no donor (section 3.7)
     "gc_start",       # the traditional (tracing) collector began a cycle
     "gc_end",         # ...and finished it
+    "fault_inject",   # an armed FaultPlan site fired (repro.faults)
+    "degrade",        # the allocation cascade tried the next recovery tier
+    "oom_recover",    # ...and a tier satisfied the allocation
 )
 
 #: Default ring capacity: ample for quickstart-scale runs, bounded for
@@ -154,8 +157,8 @@ def get_active_tracer() -> Optional[Tracer]:
 def tracing_to(tracer: Tracer) -> Iterator[Tracer]:
     """Install ``tracer`` as the ambient sink for runs started inside.
 
-    ``harness.runner.run_workload`` consults this so figure generators can
-    be traced without threading a tracer through every call site.
+    ``repro.api.run`` consults this so figure generators can be traced
+    without threading a tracer through every call site.
     """
     global _ACTIVE_TRACER
     previous = _ACTIVE_TRACER
@@ -242,6 +245,9 @@ class TraceSummary:
     recycle_hits: int = 0
     recycle_misses: int = 0
     gc_cycles: int = 0
+    faults_injected: int = 0
+    degrades: int = 0
+    oom_recoveries: int = 0
     pins_by_cause: Dict[str, int] = field(default_factory=dict)
 
     def render(self) -> str:
@@ -258,6 +264,11 @@ class TraceSummary:
             f"recycle hit/miss: {self.recycle_hits}/{self.recycle_misses}",
             f"gc cycles:        {self.gc_cycles}",
         ]
+        if self.faults_injected or self.degrades or self.oom_recoveries:
+            lines.append(
+                f"faults:           injected={self.faults_injected} "
+                f"degrades={self.degrades} recoveries={self.oom_recoveries}"
+            )
         if self.pins_by_cause:
             causes = ", ".join(
                 f"{cause}={count}"
@@ -294,5 +305,8 @@ def summarize(events: Iterable[TraceEvent],
     summary.recycle_hits = kinds["recycle_hit"]
     summary.recycle_misses = kinds["recycle_miss"]
     summary.gc_cycles = kinds["gc_start"]
+    summary.faults_injected = kinds["fault_inject"]
+    summary.degrades = kinds["degrade"]
+    summary.oom_recoveries = kinds["oom_recover"]
     summary.pins_by_cause = dict(pins)
     return summary

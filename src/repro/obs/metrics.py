@@ -161,6 +161,13 @@ def collect_runtime_metrics(
         reg.set_gauge("cg.recycle_parked_words", collector.recycle.parked_words)
         reg.set_gauge("cg.recycle_parked_objects", len(collector.recycle))
 
+    # --- fault injection / recovery cascade -------------------------------
+    # Only folded when nonzero, so a clean run's metrics dict is unchanged.
+    fault_stats = getattr(runtime, "fault_stats", None)
+    if fault_stats:
+        for name in sorted(fault_stats):
+            reg.set_counter(f"fault.{name}", fault_stats[name])
+
     # --- tracer + profiler (observability observing itself) ---------------
     tracer = runtime.tracer
     if tracer.enabled:

@@ -1,0 +1,113 @@
+"""Parallel-harness fault tolerance: retries, timeouts, crash quarantine."""
+
+import pytest
+
+from repro.faults import FaultPlan, QuarantinedCellError
+from repro.harness import figures as figures_mod
+from repro.harness.figures import cached_run, clear_cache, prefetch
+
+
+@pytest.fixture(autouse=True)
+def isolated_harness():
+    clear_cache()
+    figures_mod.set_fault_plan(None)
+    figures_mod.set_result_cache(None)
+    yield
+    clear_cache()
+    figures_mod.set_fault_plan(None)
+    figures_mod.set_result_cache(None)
+
+
+def grid_keys(plan=None):
+    return [figures_mod.cell_key(name, 1, "cg-nogc", plan=plan)
+            for name in figures_mod.BENCH_ORDER]
+
+
+class TestCrashQuarantine:
+    def test_poisoned_cell_cannot_sink_the_grid(self):
+        plan = FaultPlan.parse("harness.worker:crash:cell=jess:count=inf")
+        figures_mod.set_fault_plan(plan)
+        prefetch(["4.2"], jobs=2, retries=1)
+
+        quarantined = figures_mod.quarantined()
+        assert len(quarantined) == 1
+        (key, report), = quarantined.items()
+        assert key[0] == "jess"
+        assert report.site == "harness.worker"
+        assert report.kind == "crash"
+        assert report.context["attempts"] == 2  # 1 try + 1 retry
+
+        # Every other cell completed despite the poisoned neighbour.
+        for key in grid_keys(plan):
+            if key[0] != "jess":
+                assert key in figures_mod._CACHE
+
+        # Readers get a structured error, not a hang or a recompute.
+        with pytest.raises(QuarantinedCellError) as excinfo:
+            cached_run("jess", 1, "cg-nogc")
+        assert excinfo.value.cell_id == "jess:1:cg-nogc"
+        assert excinfo.value.report.kind == "crash"
+
+        # ...and the figure that needs the cell reports the same way.
+        with pytest.raises(QuarantinedCellError):
+            figures_mod.ALL_FIGURES["4.2"]()
+
+    def test_transient_crash_recovers_on_retry(self):
+        # count=1: only attempt 0 is sabotaged; the retry must succeed.
+        plan = FaultPlan.parse("harness.worker:crash:cell=jess:count=1")
+        figures_mod.set_fault_plan(plan)
+        prefetch(["4.2"], jobs=2, retries=2)
+        assert figures_mod.quarantined() == {}
+        for key in grid_keys(plan):
+            assert key in figures_mod._CACHE
+
+    def test_sequential_path_quarantines_too(self):
+        plan = FaultPlan.parse("harness.worker:crash:cell=db:count=inf")
+        figures_mod.set_fault_plan(plan)
+        prefetch(["4.2"], jobs=1, retries=0)
+        quarantined = figures_mod.quarantined()
+        assert [key[0] for key in quarantined] == ["db"]
+        assert all(key in figures_mod._CACHE
+                   for key in grid_keys(plan) if key[0] != "db")
+
+    def test_clear_cache_lifts_quarantine(self):
+        plan = FaultPlan.parse("harness.worker:crash:cell=db:count=inf")
+        figures_mod.set_fault_plan(plan)
+        prefetch(["4.2"], jobs=1, retries=0)
+        assert figures_mod.quarantined()
+        clear_cache()
+        assert figures_mod.quarantined() == {}
+        figures_mod.set_fault_plan(None)
+        assert cached_run("db", 1, "cg-nogc").workload == "db"
+
+
+class TestHangTolerance:
+    def test_short_hang_just_delays_the_cell(self):
+        plan = FaultPlan.parse(
+            "harness.worker:hang:cell=jess:seconds=0.05:count=inf"
+        )
+        figures_mod.set_fault_plan(plan)
+        prefetch(["4.2"], jobs=1, retries=0)
+        assert figures_mod.quarantined() == {}
+        for key in grid_keys(plan):
+            assert key in figures_mod._CACHE
+
+    def test_cell_timeout_retries_past_a_hang(self):
+        # Attempt 0 hangs well past the cell timeout; attempt 1 is clean.
+        plan = FaultPlan.parse(
+            "harness.worker:hang:cell=jess:seconds=5:count=1"
+        )
+        figures_mod.set_fault_plan(plan)
+        prefetch(["4.2"], jobs=2, cell_timeout=1.0, retries=2)
+        assert figures_mod.quarantined() == {}
+        for key in grid_keys(plan):
+            assert key in figures_mod._CACHE
+
+
+class TestPlanKeyedCache:
+    def test_faulted_and_clean_cells_never_collide(self):
+        clean_key = figures_mod.cell_key("db", 1, "cg-nogc")
+        plan = FaultPlan.parse("heap.alloc:oom:after=1000000000")
+        armed_key = figures_mod.cell_key("db", 1, "cg-nogc", plan=plan)
+        assert clean_key != armed_key
+        assert clean_key[:5] == armed_key[:5]

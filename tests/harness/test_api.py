@@ -1,0 +1,140 @@
+"""repro.api: the single run entrypoint, shims, validation, cache keys."""
+
+import pytest
+
+import repro
+from repro import api
+from repro.api import RunRequest, RunResult, config_for, run
+from repro.faults import FaultPlan
+from repro.harness import figures as figures_mod
+from repro.harness import runner
+from repro.jvm.runtime import RuntimeConfig
+
+
+class TestSingleEntrypoint:
+    def test_run_is_exported_at_package_root(self):
+        assert repro.run is run
+        assert repro.RunRequest is RunRequest
+        assert repro.RunResult is RunResult
+
+    def test_run_request_equals_keyword_run(self):
+        via_kwargs = run("db", 1, "cg")
+        via_request = api.execute(RunRequest("db", 1, "cg"))
+        assert via_request.ops == via_kwargs.ops
+        assert via_request.cg_stats == via_kwargs.cg_stats
+        assert via_request.heap_words == via_kwargs.heap_words
+
+    def test_explicit_config_path(self):
+        config = config_for("cg", 1 << 20)
+        result = run("db", 1, "cg", config=config)
+        baseline = run("db", 1, "cg", heap_words=1 << 20)
+        assert result.ops == baseline.ops
+        assert result.alloc_search_steps == baseline.alloc_search_steps
+
+    def test_faults_threaded_through_run(self):
+        plan = FaultPlan.parse("heap.alloc:oom:after=1000000000")
+        armed = run("db", 1, "cg", faults=plan)
+        clean = run("db", 1, "cg")
+        # An armed-but-never-firing plan is invisible in the results.
+        assert armed.ops == clean.ops
+        assert armed.alloc_search_steps == clean.alloc_search_steps
+        assert armed.cg_stats == clean.cg_stats
+
+
+class TestDeprecationShims:
+    def test_run_workload_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.run"):
+            shimmed = runner.run_workload("db", 1, "cg")
+        direct = run("db", 1, "cg")
+        assert shimmed.ops == direct.ops
+        assert shimmed.cg_stats == direct.cg_stats
+
+    def test_old_names_still_importable_from_runner(self):
+        from repro.harness.runner import (  # noqa: F401
+            BIG_HEAP_WORDS,
+            SYSTEMS,
+            RunResult,
+            config_for,
+            result_from_dict,
+            result_to_dict,
+        )
+
+        assert "cg" in SYSTEMS
+
+
+class TestConfigValidation:
+    def test_unknown_system_suggests_close_match(self):
+        with pytest.raises(ValueError, match="unknown system") as excinfo:
+            config_for("cg-nogcc", 1 << 20)
+        assert "did you mean 'cg-nogc'" in str(excinfo.value)
+
+    def test_unknown_allocator_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean 'next-fit'"):
+            RuntimeConfig(allocator="nxt-fit")
+
+    def test_unknown_dispatch_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean 'chain'"):
+            RuntimeConfig(dispatch="chian")
+
+    def test_unknown_tracing_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean 'marksweep'"):
+            RuntimeConfig(tracing="marksweeps")
+
+    def test_hopeless_typo_gets_no_suggestion(self):
+        with pytest.raises(ValueError) as excinfo:
+            RuntimeConfig(allocator="zzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+
+
+class TestConfigFingerprint:
+    def test_fingerprint_covers_allocator_dispatch_faults(self):
+        base = RuntimeConfig()
+        assert base.fingerprint() != RuntimeConfig(
+            allocator="segregated").fingerprint()
+        assert base.fingerprint() != RuntimeConfig(
+            dispatch="chain").fingerprint()
+        plan = FaultPlan.parse("heap.alloc:oom:after=7")
+        assert base.fingerprint() != RuntimeConfig(
+            faults=plan).fingerprint()
+
+    def test_fingerprint_excludes_observers_and_heap(self):
+        base = RuntimeConfig()
+        assert base.fingerprint() == RuntimeConfig(
+            heap_words=1 << 10).fingerprint()
+        assert base.fingerprint() == RuntimeConfig(profile=True).fingerprint()
+
+
+class TestCacheKeyedByFingerprint:
+    def setup_method(self):
+        figures_mod.clear_cache()
+        figures_mod.set_fault_plan(None)
+
+    def teardown_method(self):
+        figures_mod.clear_cache()
+        figures_mod.set_fault_plan(None)
+        figures_mod.set_result_cache(None)
+
+    def test_armed_plan_never_serves_stale_clean_result(
+            self, tmp_path, monkeypatch):
+        figures_mod.set_result_cache(str(tmp_path))
+        calls = []
+        real = figures_mod.api_run
+
+        def counting(*args, **kwargs):
+            calls.append(kwargs.get("faults"))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(figures_mod, "api_run", counting)
+
+        figures_mod.cached_run("db", 1, "cg")
+        assert len(calls) == 1
+        figures_mod.clear_cache()
+        figures_mod.cached_run("db", 1, "cg")
+        assert len(calls) == 1  # disk hit: same fingerprint
+
+        plan = FaultPlan.parse("heap.alloc:oom:after=1000000000")
+        figures_mod.set_fault_plan(plan)
+        figures_mod.cached_run("db", 1, "cg")
+        assert len(calls) == 2  # the armed plan forces a fresh run
+        assert calls[1] is plan
+        assert len(list(tmp_path.iterdir())) == 2  # two distinct entries

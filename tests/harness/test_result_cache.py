@@ -69,7 +69,7 @@ class TestDiskCache:
         def boom(*args, **kwargs):
             raise AssertionError("disk-cached cell was recomputed")
 
-        monkeypatch.setattr(figures_mod, "run_workload", boom)
+        monkeypatch.setattr(figures_mod, "api_run", boom)
         second = cached_run("db", 1, "cg")
         assert second.cg_stats == first.cg_stats
         assert second.ops == first.ops
@@ -103,7 +103,7 @@ class TestPrefetch:
         clear_cache()
         prefetch(["4.2"], jobs=2)
         for name in figures_mod.BENCH_ORDER:
-            key = (name, 1, "cg-nogc", None, None)
+            key = figures_mod.cell_key(name, 1, "cg-nogc")
             assert key in figures_mod._CACHE
             assert figures_mod._CACHE[key].cg_stats == baseline[name].cg_stats
 

@@ -1,6 +1,6 @@
 """Tracer behaviour: ring bounds, JSONL round trips, and live-run parity."""
 
-from repro import CGPolicy, Mutator, Runtime, RuntimeConfig
+from repro import CGPolicy, FaultPlan, FaultSpec, Mutator, Runtime, RuntimeConfig
 from repro.obs import (
     EVENT_KINDS,
     NULL_TRACER,
@@ -121,6 +121,9 @@ class TestLiveRunParity:
             tracer, heap_words=420,
             cg=CGPolicy(recycling=True, resetting=True, paranoid=True),
             gc_period_ops=400,
+            # One injected allocation failure, so the busy program also
+            # exercises the fault_inject/degrade/oom_recover event kinds.
+            faults=FaultPlan([FaultSpec("heap.alloc", "oom", after=50)]),
         )
         m = Mutator(runtime)
         with m.frame():

@@ -23,6 +23,8 @@ A *system* is one of the named configurations the paper compares:
                 (class, size) for O(1) same-type reuse
 ``cg-reset``    CG + the section 3.6 reset pass, MSA forced periodically
 ``cg-segfit``   CG + mark-sweep on the segregated-fit free list
+``cg-table``    CG + mark-sweep with the table dispatch tier pinned
+                (``dispatch="table"``) — the closure tier's bench baseline
 ``jdk``         the unmodified base system: mark-sweep only
 ``cg-nogc``     CG with the tracing collector disabled and ample storage
 ``jdk-nogc``    the base system idem (the other half of that comparison)
@@ -56,7 +58,7 @@ RESET_PERIOD_OPS = 5000
 
 SYSTEMS = (
     "cg", "cg-noopt", "cg-recycle", "cg-recycle-typed", "cg-reset",
-    "cg-segfit", "jdk", "cg-nogc", "cg-noopt-nogc", "jdk-nogc",
+    "cg-segfit", "cg-table", "jdk", "cg-nogc", "cg-noopt-nogc", "jdk-nogc",
     "gen", "train",
 )
 
@@ -88,6 +90,10 @@ def config_for(system: str, heap_words: int,
         return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
                              tracing="marksweep", gc_period_ops=gc_period_ops,
                              allocator="segregated")
+    if system == "cg-table":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops,
+                             dispatch="table")
     if system == "jdk":
         return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
                              tracing="marksweep", gc_period_ops=gc_period_ops)
@@ -257,6 +263,9 @@ class RunRequest:
     seed: int = 2000
     tracer: Optional[object] = None
     profile: bool = False
+    #: Maintain the per-opcode ``vm.op.*`` histogram (observational; like
+    #: ``tracer``/``profile`` it never changes a run's counters).
+    count_opcodes: bool = False
     faults: Optional[FaultPlan] = None
     config: Optional[RuntimeConfig] = None
 
@@ -282,6 +291,8 @@ class RunRequest:
             config.tracer = get_active_tracer()
         if self.profile:
             config.profile = True
+        if self.count_opcodes:
+            config.count_opcodes = True
         if self.faults is not None:
             config.faults = self.faults
         return wl, config, heap
@@ -346,6 +357,7 @@ def run(
     seed: int = 2000,
     tracer=None,
     profile: bool = False,
+    count_opcodes: bool = False,
     faults: Optional[FaultPlan] = None,
     config: Optional[RuntimeConfig] = None,
 ) -> RunResult:
@@ -361,5 +373,6 @@ def run(
     return execute(RunRequest(
         workload=workload, size=size, system=system, heap_words=heap_words,
         gc_period_ops=gc_period_ops, seed=seed, tracer=tracer,
-        profile=profile, faults=faults, config=config,
+        profile=profile, count_opcodes=count_opcodes, faults=faults,
+        config=config,
     ))

@@ -2,7 +2,7 @@
 
 ``python -m repro bench`` times the (workload, system) grid end-to-end —
 real seconds, not the simulated cost model — and writes a JSON report.
-A committed report (``BENCH_3.json`` at the repo root) serves as the
+A committed report (``BENCH_4.json`` at the repo root) serves as the
 baseline: ``--check BASELINE`` recompares and fails on regression, which
 is what the CI smoke job runs.
 
@@ -15,6 +15,17 @@ Two kinds of comparison, deliberately different in strictness:
   ``--repeats`` runs and the check gates on the *geometric mean* of the
   per-cell current/baseline ratios, failing only beyond ``--tolerance``
   (default 25%).
+
+``--compare OLDER`` is the *trend* view across baseline generations (e.g.
+``BENCH_4.json`` vs ``BENCH_3.json``): per-cell wall/ops-per-sec deltas
+plus the geomean, failing only on a >25% geomean wall regression.  Unlike
+``--check``, counter drift is reported but does not fail — grids and
+defaults legitimately change between versions (BENCH_4 added the
+``cg-table`` column and the ``bc-*`` interpreter workloads).
+
+The grid includes ``cg-table`` (the table-dispatch pin) next to ``cg`` so
+every report carries the closure-vs-table speedup on the interpreter-driven
+``bc-*`` workloads — the dispatch tier's headline number.
 """
 
 from __future__ import annotations
@@ -28,16 +39,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..api import run as run_workload
 
-#: Grid defaults: the timing-relevant systems (CG, the unmodified base
-#: system, and the segregated-fit allocator ablation).
-DEFAULT_SYSTEMS = ("cg", "jdk", "cg-segfit")
+#: Grid defaults: the timing-relevant systems (CG under the default closure
+#: dispatch, the unmodified base system, the segregated-fit allocator
+#: ablation, and the table-dispatch pin used as the closure tier's
+#: speedup baseline).
+DEFAULT_SYSTEMS = ("cg", "jdk", "cg-segfit", "cg-table")
 DEFAULT_WORKLOADS = (
     "compress", "jess", "raytrace", "db", "javac", "mpegaudio", "jack",
+    "bc-arith", "bc-list", "bc-calls",
 )
 #: The quick grid used by ``--small`` and the CI smoke job.
-SMALL_WORKLOADS = ("jess", "raytrace", "db")
+SMALL_WORKLOADS = ("jess", "raytrace", "db", "bc-list")
 
-BENCH_VERSION = 3
+BENCH_VERSION = 4
 
 
 def run_bench(
@@ -144,6 +158,113 @@ def compare(current: Dict, baseline: Dict,
     return ok, lines
 
 
+def trend(current: Dict, baseline: Dict,
+          tolerance: float = 0.25) -> Tuple[bool, List[str]]:
+    """Cross-generation trend report (e.g. BENCH_4 vs BENCH_3).
+
+    Prints per-workload×system wall and ops-per-sec deltas plus the
+    geomean; fails only when the wall-clock geomean regresses beyond
+    ``tolerance``.  Determinism-counter drift is *noted*, not failed —
+    between baseline generations the grid and the default configuration
+    legitimately change (use :func:`compare` for the strict same-version
+    gate).
+    """
+    lines: List[str] = []
+    ok = True
+    cur, base = _keyed(current), _keyed(baseline)
+    shared = [k for k in base if k in cur]
+    new = [k for k in cur if k not in base]
+    gone = [k for k in base if k not in cur]
+    lines.append(
+        f"trend: v{current.get('version', '?')} vs "
+        f"v{baseline.get('version', '?')} — {len(shared)} shared cells, "
+        f"{len(new)} new, {len(gone)} removed"
+    )
+    ratios = []
+    for key in sorted(shared):
+        c, b = cur[key], base[key]
+        wall_ratio = (c["wall_seconds"] / b["wall_seconds"]
+                      if b["wall_seconds"] > 0 and c["wall_seconds"] > 0
+                      else None)
+        ops_ratio = (c["ops_per_sec"] / b["ops_per_sec"]
+                     if b.get("ops_per_sec") and c.get("ops_per_sec")
+                     else None)
+        cell = f"{key[0]}/{key[2]}"
+        if wall_ratio is not None:
+            ratios.append(wall_ratio)
+            ops_note = (f", {ops_ratio:.2f}x ops/s" if ops_ratio is not None
+                        else "")
+            lines.append(
+                f"{cell}: wall {b['wall_seconds']:.4f}s -> "
+                f"{c['wall_seconds']:.4f}s ({wall_ratio:.2f}x{ops_note})"
+            )
+        for counter in ("ops", "alloc_search_steps"):
+            if c.get(counter) != b.get(counter):
+                lines.append(
+                    f"note: {cell} {counter} changed "
+                    f"{b.get(counter)} -> {c.get(counter)}"
+                )
+    for key in sorted(new):
+        lines.append(f"note: new cell {key[0]}/{key[2]} (no trend baseline)")
+    for key in sorted(gone):
+        lines.append(f"note: removed cell {key[0]}/{key[2]}")
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        limit = 1.0 + tolerance
+        verdict = "ok" if geomean <= limit else "REGRESSION"
+        lines.append(
+            f"trend wall-clock geomean: {geomean:.3f} "
+            f"(limit {limit:.2f}) - {verdict}"
+        )
+        if geomean > limit:
+            ok = False
+    elif shared:
+        lines.append("no timed cells shared with the trend baseline")
+    return ok, lines
+
+
+def dispatch_speedup(report: Dict) -> Tuple[Optional[float], List[str]]:
+    """Closure-vs-table ops/sec ratios from a report's own cells.
+
+    Pairs each ``cg`` cell (closure dispatch, the default) with its
+    ``cg-table`` twin and reports the ratio; the geomean is computed over
+    the interpreter-driven ``bc-*`` workloads only — the Mutator-driven
+    workloads never enter the dispatch loop, so their ratio is pure noise.
+    Returns ``(geomean_or_None, lines)``.
+    """
+    lines: List[str] = []
+    keyed = _keyed(report)
+    bc_ratios = []
+    for (workload, size, system) in sorted(keyed):
+        if system != "cg":
+            continue
+        twin = keyed.get((workload, size, "cg-table"))
+        if twin is None:
+            continue
+        closure = keyed[(workload, size, system)].get("ops_per_sec") or 0.0
+        table = twin.get("ops_per_sec") or 0.0
+        if not closure or not table:
+            continue
+        ratio = closure / table
+        marker = ""
+        if workload.startswith("bc-"):
+            bc_ratios.append(ratio)
+            marker = "  [dispatch-bound]"
+        lines.append(
+            f"{workload}: closure {closure:,.0f} ops/s vs "
+            f"table {table:,.0f} ops/s = {ratio:.2f}x{marker}"
+        )
+    geomean = None
+    if bc_ratios:
+        geomean = math.exp(
+            sum(math.log(r) for r in bc_ratios) / len(bc_ratios)
+        )
+        lines.append(
+            f"closure/table geomean over bc-* workloads: {geomean:.2f}x"
+        )
+    return geomean, lines
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench",
@@ -174,8 +295,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="compare against a baseline report; exit 1 on regression",
     )
     parser.add_argument(
+        "--compare", metavar="BASELINE",
+        help="trend report vs an older baseline generation (wall/ops-per-sec"
+             " deltas + geomean); exit 1 only on >tolerance geomean"
+             " wall regression",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.25,
-        help="allowed geomean wall-clock slowdown for --check (default 0.25)",
+        help="allowed geomean wall-clock slowdown for --check/--compare"
+             " (default 0.25)",
     )
     args = parser.parse_args(argv)
 
@@ -195,9 +323,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{entry['ops_per_sec']:>12.0f} ops/s  "
             f"{entry['alloc_search_steps']:>10d} alloc steps"
         )
+    speedup, speedup_lines = dispatch_speedup(report)
+    for line in speedup_lines:
+        print(line)
     if args.out:
         write_bench(args.out, report)
         print(f"[bench] report -> {args.out}", file=sys.stderr)
+
+    failed = False
+    if args.compare:
+        try:
+            older = load_bench(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load trend baseline: {exc}", file=sys.stderr)
+            return 2
+        ok, lines = trend(report, older, tolerance=args.tolerance)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("[bench] trend check FAILED", file=sys.stderr)
+            failed = True
+        else:
+            print("[bench] trend check passed", file=sys.stderr)
 
     if args.check:
         try:
@@ -210,9 +357,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(line)
         if not ok:
             print("[bench] regression check FAILED", file=sys.stderr)
-            return 1
-        print("[bench] regression check passed", file=sys.stderr)
-    return 0
+            failed = True
+        else:
+            print("[bench] regression check passed", file=sys.stderr)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -45,7 +45,8 @@ def trace_summary_main(argv) -> int:
         print(f"not a JSONL event trace: {args.path} ({exc})", file=sys.stderr)
         return 2
     complete = int(meta.get("dropped", 0)) == 0
-    summary = summarize(events, complete=complete)
+    summary = summarize(events, complete=complete,
+                        op_hist=meta.get("op_hist"))
     print(summary.render())
     return 0
 
@@ -108,6 +109,12 @@ def main(argv=None) -> int:
 
     if args.result_cache:
         figures_mod.set_result_cache(args.result_cache)
+
+    # Per-opcode execution counts (vm.op.*) only exist when requested:
+    # counting swaps in a slower dispatch loop, so it must never tax a
+    # plain figure run.  Set unconditionally — the flag is process-global
+    # and main() may be invoked more than once in one process (tests).
+    figures_mod.set_opcode_counting(bool(args.metrics))
 
     if args.faults:
         try:
@@ -174,7 +181,16 @@ def main(argv=None) -> int:
     if tracer is not None:
         with tracing_to(tracer):
             generate()
-        written = write_trace(args.trace, tracer)
+        # With --metrics the runs counted opcodes; fold the per-run vm.op
+        # histograms into the trace meta so trace-summary can report them
+        # (events themselves carry no opcodes).
+        op_hist = {}
+        if args.metrics:
+            for result in figures_mod.cached_results():
+                for op, n in result.metrics.get(
+                        "histograms", {}).get("vm.op", {}).items():
+                    op_hist[op] = op_hist.get(op, 0) + int(n)
+        written = write_trace(args.trace, tracer, op_hist=op_hist or None)
         status = "complete" if tracer.complete else (
             f"ring overflowed, {tracer.dropped} oldest events dropped"
         )

@@ -63,6 +63,19 @@ def set_fault_plan(plan: Optional[FaultPlan]) -> None:
     _FAULT_PLAN = plan
 
 
+#: Ambient per-opcode counting flag (set by the CLI's ``--metrics``): cells
+#: run with ``count_opcodes=True`` so the export carries ``vm.op.*``.
+#: Observational only, but cached results would silently lack the histogram
+#: — so the flag is part of the cell key without entering the fingerprint.
+_COUNT_OPCODES = False
+
+
+def set_opcode_counting(flag: bool) -> None:
+    """Run subsequent cells with the per-opcode ``vm.op.*`` histogram."""
+    global _COUNT_OPCODES
+    _COUNT_OPCODES = bool(flag)
+
+
 def set_result_cache(path: Optional[str]) -> None:
     """Point the persistent result cache at ``path`` (None disables it)."""
     global _RESULT_CACHE_DIR
@@ -84,7 +97,7 @@ def cell_key(workload: str, size: int, system: str,
     config = config_for(system, heap_words or (1 << 20), gc_period_ops)
     config.faults = plan
     return (workload, size, system, gc_period_ops, heap_words,
-            config.fingerprint())
+            config.fingerprint(), _COUNT_OPCODES)
 
 
 def _cache_file(key: Tuple) -> Optional[Path]:
@@ -133,6 +146,7 @@ def cached_run(workload: str, size: int, system: str,
             result = api_run(
                 workload, size, system, gc_period_ops=gc_period_ops,
                 heap_words=heap_words, faults=plan,
+                count_opcodes=_COUNT_OPCODES,
             )
             _disk_store(key, result)
         _CACHE[key] = result
@@ -533,11 +547,16 @@ def _run_cell(key: Tuple, inject: Optional[Dict] = None,
               plan_dict: Optional[Dict] = None) -> Tuple[Tuple, Dict]:
     """Worker-process entry point: execute one cell, return it flattened."""
     workload, size, system, gc_period_ops, heap_words = key[:5]
+    # key[6] is the parent's _COUNT_OPCODES flag (see cell_key): honouring
+    # it here keeps worker-computed cells interchangeable with sequential
+    # ones — a counting key always maps to a result carrying ``vm.op.*``.
+    count_opcodes = bool(key[6]) if len(key) > 6 else False
     _simulate_worker_fault(inject)
     plan = FaultPlan.from_dict(plan_dict) if plan_dict else None
     result = api_run(
         workload, size, system, gc_period_ops=gc_period_ops,
         heap_words=heap_words, faults=plan,
+        count_opcodes=count_opcodes,
     )
     return key, result_to_dict(result)
 

@@ -8,7 +8,11 @@ bytecode workloads and tests) can be written.
 
 Opcodes are plain module-level integers — the interpreter dispatches through
 a list indexed by opcode, and tuples ``(op, a, b)`` are the instruction
-representation (see :mod:`repro.jvm.model`).
+representation (see :mod:`repro.jvm.model`).  The closure tier
+(:mod:`repro.jvm.closurecode`) compiles these tuples once per method into
+pre-bound Python closures, so an opcode added here needs a handler in all
+three dispatch tiers — the parity corpus in ``tests/jvm/test_dispatch.py``
+fails if any tier is forgotten.
 """
 
 from __future__ import annotations

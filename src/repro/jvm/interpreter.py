@@ -7,9 +7,12 @@ the opcode's position.  The CG-relevant instructions delegate to the runtime
 services, which raise the collector events; the interpreter itself only
 moves values between locals, operand stacks, and the heap.
 
-The original chain dispatch is retained (``RuntimeConfig(dispatch="chain")``)
-as the reference implementation for the opcode-parity differential suite —
-both loops must produce identical stats on every program.
+Three dispatch tiers share this file's runtime services and must produce
+identical stats on every program (the opcode-parity differential suite is
+the oracle): ``closure`` (the default — per-method closure compilation with
+quickening and superinstruction fusion, :mod:`repro.jvm.closurecode`),
+``table`` (the loop below), and ``chain`` (the original if/elif reference,
+retained via ``RuntimeConfig(dispatch="chain")``).
 
 Threading: :meth:`Interpreter.run_program` drives the deterministic
 round-robin scheduler — each runnable thread executes up to a quantum of
@@ -25,7 +28,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from ..faults import NativeCallFault, TrapFault, inject
-from ..obs.profile import PHASE_INTERPRET
+from ..obs.profile import PHASE_COMPILE, PHASE_INTERPRET
 from . import bytecode as bc
 from .errors import NullPointerError, VerifyError, VMError
 from .heap import Handle
@@ -426,8 +429,42 @@ class Interpreter:
         #: instead of the caller's operand stack (native callbacks).
         self._sync_marks: Dict[int, List[int]] = {}
         self._sync_results: Dict[int, object] = {}
-        if runtime.config.dispatch == "chain":
+        config = runtime.config
+        #: Per-opcode execution histogram (``count_opcodes`` mode only).
+        self.count_ops: bool = config.count_opcodes
+        self.op_counts: Optional[List[int]] = (
+            [0] * bc.OP_COUNT if self.count_ops else None
+        )
+        #: JMethod -> CompiledMethod for the closure tier.  Per-interpreter:
+        #: compiled closures bind this runtime's services.
+        self._ccache: Dict[JMethod, object] = {}
+        dispatch = config.dispatch
+        #: Superinstruction fusion is enabled only where the batched closure
+        #: loop runs: with a periodic-GC trigger every instruction must tick
+        #: individually, and in counting mode every instruction must be
+        #: observed individually.  (Fault budget slicing is fine — the
+        #: weights mechanism keeps fused pairs inside every budget slice.)
+        self._fuse = (
+            dispatch == "closure"
+            and config.gc_period_ops is None
+            and not self.count_ops
+        )
+        if self.count_ops:
+            # Counting loops tick per instruction; with no periodic-GC
+            # trigger tick() is a pure counter bump, so the observable
+            # results stay bit-identical to the batched loops.  Chain
+            # dispatch counts via the table loop (they are parity-equal).
+            self.step_n = (
+                self._step_n_closure_counting if dispatch == "closure"
+                else self._step_n_table_counting
+            )
+        elif dispatch == "chain":
             self.step_n = self._step_n_chain
+        elif dispatch == "closure":
+            self.step_n = (
+                self._step_n_closure if config.gc_period_ops is None
+                else self._step_n_closure_tick
+            )
         plan = runtime.config.faults
         if plan is not None and plan.arms("interp.step"):
             # Wrap whichever dispatch loop was just selected.  The wrapper
@@ -854,6 +891,259 @@ class Interpreter:
             profiler.add(PHASE_INTERPRET, elapsed)
             profiler.charge_depth(profile_depth, elapsed)
         return executed
+
+    # ------------------------------------------------------------------
+    # Closure dispatch (the default tier; see repro.jvm.closurecode)
+    # ------------------------------------------------------------------
+
+    def _compiled_for(self, method: JMethod):
+        """Closure-compiled form of ``method`` (compiled once, then cached).
+
+        Compilation is charged to the profiler's ``compile`` phase so the
+        one-time cost is visible separately from interpretation.
+        """
+        try:
+            return self._ccache[method]
+        except KeyError:
+            pass
+        from .closurecode import compile_method
+
+        profiler = self.runtime.profiler
+        if profiler.enabled:
+            started = perf_counter()
+            compiled = compile_method(self, method, fuse=self._fuse)
+            profiler.add(PHASE_COMPILE, perf_counter() - started)
+        else:
+            compiled = compile_method(self, method, fuse=self._fuse)
+        self._ccache[method] = compiled
+        return compiled
+
+    def _step_n_closure(self, thread: JThread, budget: int,
+                        stop_depth: int = 0) -> int:
+        """The closure-dispatch loop (no periodic-GC trigger): the hot path
+        is ``pc = ccode[pc](frame, thread)`` — zero decode, zero per-step
+        attribute traffic.
+
+        Tick accounting matches the batched table loop: decoded
+        instructions (including a faulting one) tick in one flush per
+        quantum; implicit end-of-code returns (the ``-2`` sentinel) are
+        executed but never ticked.  When superinstructions are fused,
+        ``weights`` charges two instructions per fused slot and the loop
+        falls back to the pair's unfused first closure (``plain``) whenever
+        only one instruction of budget remains — so a fused pair never
+        straddles a quantum or a fault-plan budget slice.
+        """
+        runtime = self.runtime
+        executed = 0
+        frames = thread.stack.frames
+        profiler = runtime.profiler
+        if profiler.enabled:
+            profile_started = perf_counter()
+            profile_depth = len(frames)
+        cache = self._ccache
+        compiled_for = self._compiled_for
+        unticked = 0
+        try:
+            while executed < budget and len(frames) > stop_depth:
+                frame = frames[-1]
+                method = frame.method
+                compiled = cache.get(method) or compiled_for(method)
+                ccode = compiled.ccode
+                weights = compiled.weights
+                pc = frame.pc
+                if pc > compiled.ilen:
+                    # Wild branch past the end (hand-built code): the other
+                    # tiers treat any pc >= len(code) as the implicit return.
+                    pc = compiled.ilen
+                limit = budget - executed
+                n = 0
+                if weights is None:
+                    try:
+                        while n < limit:
+                            n += 1
+                            pc = ccode[pc](frame, thread)
+                            if pc < 0:
+                                if pc == -2:
+                                    unticked += 1
+                                break
+                    finally:
+                        executed += n
+                else:
+                    plain = compiled.plain
+                    try:
+                        while n < limit:
+                            if weights[pc] == 1:
+                                n += 1
+                                pc = ccode[pc](frame, thread)
+                            elif limit - n >= 2:
+                                n += 2
+                                pc = ccode[pc](frame, thread)
+                            else:
+                                # One instruction of budget left but the
+                                # slot is a fused pair: run its unfused
+                                # first half so the slice boundary lands
+                                # between the two original instructions.
+                                n += 1
+                                pc = plain[pc](frame, thread)
+                            if pc < 0:
+                                if pc == -2:
+                                    unticked += 1
+                                break
+                    finally:
+                        executed += n
+                if pc >= 0:
+                    frame.pc = pc
+        finally:
+            ticked = executed - unticked
+            if ticked:
+                runtime.tick(ticked)
+        self.instructions_executed += executed
+        if profiler.enabled:
+            elapsed = perf_counter() - profile_started
+            profiler.add(PHASE_INTERPRET, elapsed)
+            profiler.charge_depth(profile_depth, elapsed)
+        return executed
+
+    def _step_n_closure_tick(self, thread: JThread, budget: int,
+                             stop_depth: int = 0) -> int:
+        """Closure dispatch with a periodic-GC trigger armed.
+
+        Mirrors the table loop's per-instruction ordering exactly — pc
+        advanced, ``executed`` charged, ``tick()``, then the instruction —
+        so collections trigger at identical instruction boundaries.
+        Superinstruction fusion is disabled in this mode (every
+        instruction must tick individually).
+        """
+        runtime = self.runtime
+        executed = 0
+        frames = thread.stack.frames
+        profiler = runtime.profiler
+        if profiler.enabled:
+            profile_started = perf_counter()
+            profile_depth = len(frames)
+        cache = self._ccache
+        compiled_for = self._compiled_for
+        while executed < budget and len(frames) > stop_depth:
+            frame = frames[-1]
+            method = frame.method
+            compiled = cache.get(method) or compiled_for(method)
+            pc = frame.pc
+            if pc >= compiled.ilen:
+                # Fell off the end: implicit return void (not ticked).
+                self._return(thread, VOID)
+                executed += 1
+                continue
+            frame.pc = pc + 1
+            executed += 1
+            runtime.tick()
+            npc = compiled.ccode[pc](frame, thread)
+            if npc >= 0:
+                frame.pc = npc
+        self.instructions_executed += executed
+        if profiler.enabled:
+            elapsed = perf_counter() - profile_started
+            profiler.add(PHASE_INTERPRET, elapsed)
+            profiler.charge_depth(profile_depth, elapsed)
+        return executed
+
+    # ------------------------------------------------------------------
+    # Counting loops (count_opcodes mode: per-opcode histogram)
+    # ------------------------------------------------------------------
+
+    def _step_n_closure_counting(self, thread: JThread, budget: int,
+                                 stop_depth: int = 0) -> int:
+        """Closure dispatch with the per-opcode histogram enabled.
+
+        Per-instruction (fusion disabled) so every executed opcode is
+        observed; with no periodic trigger ``tick()`` degenerates to a
+        counter bump, so results stay bit-identical to the batched loop.
+        """
+        runtime = self.runtime
+        executed = 0
+        frames = thread.stack.frames
+        profiler = runtime.profiler
+        if profiler.enabled:
+            profile_started = perf_counter()
+            profile_depth = len(frames)
+        cache = self._ccache
+        compiled_for = self._compiled_for
+        counts = self.op_counts
+        op_count = bc.OP_COUNT
+        while executed < budget and len(frames) > stop_depth:
+            frame = frames[-1]
+            method = frame.method
+            compiled = cache.get(method) or compiled_for(method)
+            pc = frame.pc
+            if pc >= compiled.ilen:
+                self._return(thread, VOID)
+                executed += 1
+                continue
+            frame.pc = pc + 1
+            executed += 1
+            runtime.tick()
+            op = compiled.opmap[pc]
+            if 0 <= op < op_count:
+                # Unknown opcodes are not counted (the compiled slot raises
+                # VerifyError below, matching the table loop's check order).
+                counts[op] += 1
+            npc = compiled.ccode[pc](frame, thread)
+            if npc >= 0:
+                frame.pc = npc
+        self.instructions_executed += executed
+        if profiler.enabled:
+            elapsed = perf_counter() - profile_started
+            profiler.add(PHASE_INTERPRET, elapsed)
+            profiler.charge_depth(profile_depth, elapsed)
+        return executed
+
+    def _step_n_table_counting(self, thread: JThread, budget: int,
+                               stop_depth: int = 0) -> int:
+        """Table dispatch with the per-opcode histogram enabled.
+
+        Serves both ``table`` and ``chain`` dispatch in counting mode (the
+        two are parity-identical); ticks per instruction, observationally
+        identical to the batched flush when no periodic trigger is armed.
+        """
+        runtime = self.runtime
+        executed = 0
+        frames = thread.stack.frames
+        profiler = runtime.profiler
+        if profiler.enabled:
+            profile_started = perf_counter()
+            profile_depth = len(frames)
+        handlers = _HANDLERS
+        op_count = bc.OP_COUNT
+        counts = self.op_counts
+        while executed < budget and len(frames) > stop_depth:
+            frame = frames[-1]
+            code = frame.method.code
+            pc = frame.pc
+            if pc >= len(code):
+                self._return(thread, VOID)
+                executed += 1
+                continue
+            op, a, b = code[pc]
+            frame.pc = pc + 1
+            executed += 1
+            runtime.tick()
+            if op >= op_count or op < 0:
+                raise VerifyError(f"unknown opcode {op}")
+            counts[op] += 1
+            handlers[op](self, runtime, thread, frame, a, b)
+        self.instructions_executed += executed
+        if profiler.enabled:
+            elapsed = perf_counter() - profile_started
+            profiler.add(PHASE_INTERPRET, elapsed)
+            profiler.charge_depth(profile_depth, elapsed)
+        return executed
+
+    def opcode_histogram(self) -> Dict[str, int]:
+        """Mnemonic -> execution count (``count_opcodes`` runs only)."""
+        counts = self.op_counts
+        if not counts:
+            return {}
+        names = bc.OPCODE_NAMES
+        return {names[op]: n for op, n in enumerate(counts) if n}
 
     # ------------------------------------------------------------------
 

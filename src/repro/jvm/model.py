@@ -99,7 +99,10 @@ class JMethod:
     native registry so returned references can be pinned (thesis section 3.3).
     """
 
-    __slots__ = ("name", "nargs", "nlocals", "code", "native", "owner", "labels")
+    __slots__ = (
+        "name", "nargs", "nlocals", "code", "native", "owner", "labels",
+        "fusible",
+    )
 
     def __init__(
         self,
@@ -120,6 +123,10 @@ class JMethod:
         self.native = native
         self.owner: Optional[JClass] = None
         self.labels: Dict[str, int] = {}
+        #: Superinstruction pair starts from the assembler's peephole pass
+        #: (None = not yet scanned; the closure compiler scans lazily for
+        #: hand-built methods that never went through the assembler).
+        self.fusible: Optional[Tuple[int, ...]] = None
 
     @property
     def qualified_name(self) -> str:

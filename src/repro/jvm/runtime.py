@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from collections import Counter
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
@@ -39,7 +40,17 @@ if False:  # pragma: no cover - typing-only (imported lazily to break a cycle)
     from ..core.collector import ContaminatedCollector
 
 TRACING_CHOICES = ("marksweep", "none", "generational", "train")
-DISPATCH_CHOICES = ("table", "chain")
+DISPATCH_CHOICES = ("closure", "table", "chain")
+
+
+def default_dispatch() -> str:
+    """The default interpreter dispatch tier.
+
+    ``closure`` (the fastest tier) unless the ``REPRO_DISPATCH`` environment
+    knob overrides it — the CI dispatch-matrix job uses the knob to run the
+    whole tier-1 suite under each tier.
+    """
+    return os.environ.get("REPRO_DISPATCH", "closure")
 
 
 @dataclass
@@ -66,10 +77,20 @@ class RuntimeConfig:
     #: search every figure measures; "segregated" is the production-mode
     #: size-class allocator (opt-in, never used by the paper's tables).
     allocator: str = "next-fit"
-    #: Interpreter dispatch strategy: "table" (opcode-indexed handler
+    #: Interpreter dispatch strategy: "closure" (the default — bytecode
+    #: compiled once per method into pre-bound zero-decode closures, with
+    #: quickening and superinstruction fusion; see
+    #: :mod:`repro.jvm.closurecode`), "table" (opcode-indexed handler
     #: tuple) or "chain" (the original if/elif reference, kept for the
-    #: opcode-parity differential suite).
-    dispatch: str = "table"
+    #: opcode-parity differential suite).  The ``REPRO_DISPATCH`` env var
+    #: overrides the default.
+    dispatch: str = field(default_factory=default_dispatch)
+    #: Maintain a per-opcode execution histogram (``vm.op.*`` metrics).
+    #: Purely observational — selects a counting dispatch loop but never
+    #: changes a run's counters — so, like ``tracer``/``profile``, it is
+    #: excluded from :meth:`fingerprint`.  Off by default: the zero-cost
+    #: path stays zero-cost.
+    count_opcodes: bool = False
     #: Deterministic fault-injection plan (:mod:`repro.faults`).  None —
     #: the default for every figure and bench run — keeps each hook at a
     #: single is-not-None test, so results stay bit-identical.

@@ -127,6 +127,15 @@ def collect_runtime_metrics(
 
     reg.set_counter("vm.ops", runtime.ops)
 
+    # --- per-opcode histogram (count_opcodes runs only) -------------------
+    # getattr, not the lazy property: collecting metrics must not force the
+    # creation of an interpreter the run never used.
+    interp = getattr(runtime, "_interpreter", None)
+    if interp is not None and getattr(interp, "count_ops", False):
+        op_hist = interp.opcode_histogram()
+        if op_hist:
+            reg.merge_histogram("vm.op", op_hist)
+
     # --- heap + allocator -------------------------------------------------
     heap = runtime.heap
     for name, value in heap.occupancy().items():

@@ -35,6 +35,9 @@ PHASE_INTERPRET = "interpret"
 PHASE_CG_EVENTS = "cg-events"
 PHASE_MSA = "msa"
 PHASE_RECYCLE = "recycle-search"
+#: One-time closure compilation in the ``dispatch="closure"`` tier —
+#: charged per method at first invocation, never on the hot loop.
+PHASE_COMPILE = "compile"
 
 
 class PhaseProfiler:

@@ -1,6 +1,15 @@
 """SPECjvm98-shaped workloads (see base.py for the modelling rationale)."""
 
-from . import compress, db, jack, javac, jess, mpegaudio, raytrace  # noqa: F401
+from . import (  # noqa: F401
+    bytecode,
+    compress,
+    db,
+    jack,
+    javac,
+    jess,
+    mpegaudio,
+    raytrace,
+)
 from .base import (
     REGISTRY,
     SIZE_NAMES,

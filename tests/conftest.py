@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import CGPolicy, Mutator, Program, Runtime, RuntimeConfig
@@ -13,16 +15,25 @@ def make_runtime(
     tracing: str = "marksweep",
     gc_period_ops: int | None = None,
     paranoid: bool = True,
+    dispatch: str | None = None,
     **cg_overrides,
 ) -> Runtime:
-    """A runtime with paranoid CG checking on by default (tests only)."""
+    """A runtime with paranoid CG checking on by default (tests only).
+
+    ``dispatch`` defaults to the ``REPRO_DISPATCH`` env knob (falling back
+    to the runtime default), so CI can sweep the whole suite across the
+    chain/table/closure tiers without touching any test.
+    """
     if cg is None:
         cg = CGPolicy(paranoid=paranoid, **cg_overrides)
+    if dispatch is None:
+        dispatch = os.environ.get("REPRO_DISPATCH", "closure")
     config = RuntimeConfig(
         heap_words=heap_words,
         cg=cg,
         tracing=tracing,
         gc_period_ops=gc_period_ops,
+        dispatch=dispatch,
     )
     runtime = Runtime(config)
     define_test_classes(runtime.program)

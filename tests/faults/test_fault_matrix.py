@@ -181,6 +181,82 @@ class TestInterpStepTrap:
         assert armed.ops == clean.ops
 
 
+class TestFaultDispatchParity:
+    """Faults fire at identical instruction indices across dispatch tiers.
+
+    The closure tier fuses superinstructions; the fault wrapper slices the
+    budget at the firing point, so a trap must never skid past a fused
+    pair — whatever the ``after`` index, all three tiers stop at exactly
+    the same instruction with the same fault_stats.
+    """
+
+    # Straight-line const+add blocks: plenty of fused pairs for the trap
+    # index to land in the middle of.
+    FUSED_LINE = (
+        MAIN
+        + "    const 0\n    store 0\n"
+        + "    load 0\n    const 1\n    add\n    store 0\n" * 12
+        + "    load 0\n    retval\n"
+    )
+
+    ALLOC_LOOP = (
+        "class Node\nfield next\n"
+        + MAIN
+        + "    const 0\n    store 0\n"
+        + "loop:\n"
+        + "    load 0\n    const 30\n    if_icmpge done\n"
+        + "    new Node\n    pop\n"
+        + "    iinc 0 1\n    goto loop\n"
+        + "done:\n    load 0\n    retval\n"
+    )
+
+    DISPATCHES = ("chain", "table", "closure")
+
+    def run_faulted(self, source, plan, dispatch, heap_words=1 << 14):
+        program = assemble(source)
+        config = RuntimeConfig(
+            heap_words=heap_words,
+            cg=CGPolicy(paranoid=True),
+            faults=plan,
+            dispatch=dispatch,
+        )
+        return Runtime(config, program=program)
+
+    @pytest.mark.parametrize("after", [1, 4, 5, 6, 17, 40])
+    def test_trap_index_identical_across_tiers(self, after):
+        stops = {}
+        for dispatch in self.DISPATCHES:
+            plan = FaultPlan([FaultSpec("interp.step", "trap", after=after)])
+            rt = self.run_faulted(self.FUSED_LINE, plan, dispatch)
+            with pytest.raises(TrapFault):
+                rt.run("Main.main")
+            stops[dispatch] = (
+                rt.interpreter.instructions_executed,
+                dict(rt.fault_stats),
+            )
+            assert rt.interpreter.instructions_executed == after
+        assert stops["table"] == stops["chain"]
+        assert stops["closure"] == stops["table"]
+
+    def test_heap_alloc_cascade_identical_across_tiers(self):
+        outcomes = {}
+        for dispatch in self.DISPATCHES:
+            plan = FaultPlan([FaultSpec("heap.alloc", "oom", after=5)])
+            rt = self.run_faulted(self.ALLOC_LOOP, plan, dispatch,
+                                  heap_words=4096)
+            result = rt.run("Main.main")
+            assert result == 30
+            outcomes[dispatch] = (
+                dict(rt.fault_stats),
+                rt.interpreter.instructions_executed,
+                rt.ops,
+                rt.collector.stats,
+            )
+            assert rt.fault_stats["injected.heap.alloc"] == 1
+        assert outcomes["table"] == outcomes["chain"]
+        assert outcomes["closure"] == outcomes["table"]
+
+
 class TestNativeCallEscape:
     NATIVE_SOURCE = """
     class Main

@@ -91,7 +91,8 @@ class TestConfigFingerprint:
         base = RuntimeConfig()
         assert base.fingerprint() != RuntimeConfig(
             allocator="segregated").fingerprint()
-        assert base.fingerprint() != RuntimeConfig(
+        # Explicit tiers, not the default: REPRO_DISPATCH may redefine it.
+        assert RuntimeConfig(dispatch="table").fingerprint() != RuntimeConfig(
             dispatch="chain").fingerprint()
         plan = FaultPlan.parse("heap.alloc:oom:after=7")
         assert base.fingerprint() != RuntimeConfig(

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.harness import bench
 
 
@@ -90,3 +92,92 @@ class TestMain:
         assert bench.main(["--workloads", "db", "--systems", "cg",
                            "--repeats", "1",
                            "--check", str(tmp_path / "nope.json")]) == 2
+
+
+def two_cell_report(wall_cg=0.05, wall_table=0.10, **meta):
+    def cell(system, wall):
+        return {
+            "workload": "bc-arith", "size": 1, "system": system,
+            "wall_seconds": wall, "ops": 1000,
+            "ops_per_sec": 1000 / wall, "alloc_search_steps": 0,
+        }
+    report = {"version": bench.BENCH_VERSION, "size": 1, "repeats": 1,
+              "entries": [cell("cg", wall_cg), cell("cg-table", wall_table)]}
+    report.update(meta)
+    return report
+
+
+class TestTrend:
+    def test_identical_generations_pass(self):
+        ok, lines = bench.trend(tiny_report(), tiny_report())
+        assert ok
+        assert any("geomean" in line for line in lines)
+
+    def test_counter_drift_noted_not_failed(self):
+        # Between baseline generations the default config legitimately
+        # changes (e.g. a new dispatch tier), so ops drift is a note.
+        ok, lines = bench.trend(tiny_report(ops=1234), tiny_report())
+        assert ok
+        assert any("ops changed" in line for line in lines)
+
+    def test_geomean_wall_regression_fails(self):
+        ok, lines = bench.trend(tiny_report(wall_seconds=0.08), tiny_report(),
+                                tolerance=0.25)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_new_and_removed_cells_noted(self):
+        current = tiny_report()
+        current["entries"].append(dict(current["entries"][0],
+                                       workload="bc-arith"))
+        baseline = tiny_report()
+        baseline["entries"].append(dict(baseline["entries"][0],
+                                        system="jdk"))
+        ok, lines = bench.trend(current, baseline)
+        assert ok
+        assert any("new cell bc-arith/cg" in line for line in lines)
+        assert any("removed cell jess/jdk" in line for line in lines)
+
+
+class TestDispatchSpeedup:
+    def test_geomean_over_bc_workloads(self):
+        geomean, lines = bench.dispatch_speedup(two_cell_report())
+        assert geomean == pytest.approx(2.0)
+        assert any("[dispatch-bound]" in line for line in lines)
+        assert any("geomean" in line for line in lines)
+
+    def test_mutator_workloads_excluded_from_geomean(self):
+        report = two_cell_report()
+        # A jess pair with a wild ratio must not move the bc-* geomean.
+        for system, wall in (("cg", 0.001), ("cg-table", 1.0)):
+            report["entries"].append({
+                "workload": "jess", "size": 1, "system": system,
+                "wall_seconds": wall, "ops": 500,
+                "ops_per_sec": 500 / wall, "alloc_search_steps": 1,
+            })
+        geomean, lines = bench.dispatch_speedup(report)
+        assert geomean == pytest.approx(2.0)
+        assert any(line.startswith("jess:") for line in lines)
+
+    def test_no_table_twin_means_no_geomean(self):
+        geomean, lines = bench.dispatch_speedup(tiny_report())
+        assert geomean is None
+        assert lines == []
+
+
+class TestMainCompare:
+    def test_compare_against_older_generation(self, tmp_path, capsys):
+        out = str(tmp_path / "old.json")
+        assert bench.main(["--workloads", "db", "--systems", "cg",
+                           "--repeats", "1", "--out", out]) == 0
+        # Same grid re-run as the "new" generation: trend passes even if
+        # counters drifted, as long as the wall geomean stays in band.
+        assert bench.main(["--workloads", "db", "--systems", "cg",
+                           "--repeats", "1", "--compare", out,
+                           "--tolerance", "10.0"]) == 0
+        assert "trend" in capsys.readouterr().out
+
+    def test_compare_missing_baseline_exit_code(self, tmp_path):
+        assert bench.main(["--workloads", "db", "--systems", "cg",
+                           "--repeats", "1",
+                           "--compare", str(tmp_path / "nope.json")]) == 2

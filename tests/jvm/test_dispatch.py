@@ -1,11 +1,18 @@
-"""Table-vs-chain dispatch parity.
+"""Three-way dispatch parity: chain vs table vs closure.
 
-The interpreter ships two dispatch loops: the opcode-indexed handler table
-(default) and the original if/elif chain (``RuntimeConfig(dispatch="chain")``),
-kept as the reference implementation.  These tests run the same programs
-under both and require identical results, instruction counts, and VM state —
-and the parity corpus must collectively exercise *every* opcode, so a new
-opcode cannot be added to one loop and forgotten in the other.
+The interpreter ships three dispatch tiers: the original if/elif chain
+(``dispatch="chain"``, the reference implementation), the opcode-indexed
+handler table (``"table"``), and the closure-compiled tier (``"closure"``,
+the default) with quickening and superinstruction fusion.  These tests run
+the same programs under all three and require identical results,
+instruction counts, and VM state — and the parity corpus must collectively
+exercise *every* opcode, so a new opcode cannot be added to one tier and
+forgotten in the others.
+
+The closure tier gets extra scrutiny: quickening must rewrite slots
+in place without changing observable behaviour, and a fused
+superinstruction must never straddle a scheduler quantum (the budget-split
+logic falls back to the unfused closures at a slice boundary).
 """
 
 import pytest
@@ -15,6 +22,8 @@ from repro.harness.runner import config_for
 from repro.jvm import bytecode as bc
 from repro.jvm.errors import VerifyError
 from repro.workloads.base import get_workload
+
+DISPATCHES = ("chain", "table", "closure")
 
 MAIN = "class Main\nmethod Main.main(0)\n"
 
@@ -102,18 +111,26 @@ def run_one(source, args, dispatch, **config_kwargs):
     return result, rt
 
 
+def snapshot(rt):
+    state = [
+        rt.interpreter.instructions_executed,
+        rt.ops,
+        rt.heap.occupancy(),
+    ]
+    if rt.collector is not None:
+        state.append(rt.collector.stats)
+        state.append(rt.collector.final_census())
+    return tuple(state)
+
+
 def assert_parity(source, args, expected, **config_kwargs):
-    res_t, rt_t = run_one(source, args, "table", **config_kwargs)
-    res_c, rt_c = run_one(source, args, "chain", **config_kwargs)
-    assert res_t == expected
-    assert res_c == expected
-    assert (rt_t.interpreter.instructions_executed
-            == rt_c.interpreter.instructions_executed)
-    assert rt_t.ops == rt_c.ops
-    assert rt_t.heap.occupancy() == rt_c.heap.occupancy()
-    if rt_t.collector is not None:
-        assert rt_t.collector.stats == rt_c.collector.stats
-        assert rt_t.collector.final_census() == rt_c.collector.final_census()
+    snapshots = {}
+    for dispatch in DISPATCHES:
+        result, rt = run_one(source, args, dispatch, **config_kwargs)
+        assert result == expected, f"{dispatch}: {result} != {expected}"
+        snapshots[dispatch] = snapshot(rt)
+    assert snapshots["table"] == snapshots["chain"]
+    assert snapshots["closure"] == snapshots["table"]
 
 
 class TestOpcodeParity:
@@ -123,8 +140,9 @@ class TestOpcodeParity:
         assert_parity(source, args, expected)
 
     def test_parity_under_periodic_gc(self):
-        # gc_period_ops forces the per-instruction tick path of the table
-        # loop (no batching), and periodic collections mid-program.
+        # gc_period_ops forces the per-instruction tick paths (no batching,
+        # no fusion for the closure tier), and periodic collections
+        # mid-program.
         source, args, expected = PARITY_PROGRAMS[2]
         assert_parity(source, args, expected, gc_period_ops=7,
                       heap_words=4096)
@@ -141,23 +159,165 @@ class TestOpcodeParity:
                    if op not in seen]
         assert not missing, f"parity corpus never exercises: {missing}"
 
-    def test_unknown_opcode_both_dispatches(self):
-        for dispatch in ("table", "chain"):
+    def test_unknown_opcode_every_dispatch(self):
+        for dispatch in DISPATCHES:
             program = assemble(MAIN + "    const 1\n    retval\n")
             method = program.lookup("Main").methods["main"]
             method.code[0] = (bc.OP_COUNT + 5, None, None)
+            method.fusible = None  # stale: recompute from the patched code
             rt = Runtime(RuntimeConfig(dispatch=dispatch), program=program)
             with pytest.raises(VerifyError, match="unknown opcode"):
                 rt.run("Main.main", [])
 
 
+QUICKEN_SOURCE = (
+    "class Config\nstatic limit\n"
+    + "class Worker\n"
+    + "method Worker.answer(1)\n    const 21\n    retval\n"
+    + "method Main.twice(1)\n    load 0\n    const 2\n    mul\n    retval\n"
+    + MAIN
+    + "    const 7\n    putstatic Config.limit\n"
+    + "    new Worker\n"
+    + "    invokevirtual answer 1\n"
+    + "    invokestatic Main.twice\n"
+    + "    getstatic Config.limit\n"
+    + "    sub\n    retval\n"
+)
+
+
+class TestQuickening:
+    """First execution rewrites a slot with its specialized closure."""
+
+    def test_slots_rewritten_after_first_execution(self):
+        result, rt = run_one(QUICKEN_SOURCE, [], "closure")
+        assert result == 42 - 7
+        method = rt.program.lookup("Main").methods["main"]
+        compiled = rt.interpreter._ccache[method]
+        quickened = {bc.GETSTATIC: "op_getstatic",
+                     bc.PUTSTATIC: "op_putstatic",
+                     bc.INVOKESTATIC: "op_invokestatic",
+                     bc.NEW: "op_new"}
+        for pc, (op, _, _) in enumerate(method.code):
+            want = quickened.get(op)
+            if want is None:
+                continue
+            got = compiled.ccode[pc].__name__
+            assert got == want, (
+                f"pc {pc} ({bc.OPCODE_NAMES[op]}) still generic: {got}"
+            )
+            assert not got.endswith("_generic")
+
+    def test_rerun_reuses_quickened_code(self):
+        # Second invocation goes straight through the rewritten slots and
+        # must produce the same answer (the cache is per-method identity).
+        program = assemble(QUICKEN_SOURCE)
+        rt = Runtime(RuntimeConfig(dispatch="closure"), program=program)
+        first = rt.run("Main.main", [])
+        method = rt.program.lookup("Main").methods["main"]
+        compiled = rt.interpreter._ccache[method]
+        slots_after_first = list(compiled.ccode)
+        second = rt.run("Main.main", [])
+        assert first == second == 35
+        # No re-quickening churn: the slots are stable after one pass.
+        assert list(compiled.ccode) == slots_after_first
+
+    def test_unreachable_bad_reference_never_raises(self):
+        # Resolution happens at first *execution*, not at compile time, so
+        # a dead getstatic naming a missing class must stay harmless.
+        source = (
+            MAIN
+            + "    goto ok\n"
+            + "    getstatic NoSuchClass.field\n"
+            + "ok:\n    const 5\n    retval\n"
+        )
+        for dispatch in DISPATCHES:
+            result, _ = run_one(source, [], dispatch)
+            assert result == 5
+
+
+FUSIBLE_LOOP = (
+    "class Pair\nfield a\nfield b\n"
+    + MAIN
+    + "    new Pair\n    store 0\n"
+    + "    load 0\n    const 11\n    putfield a\n"
+    + "    load 0\n    const 31\n    putfield b\n"
+    + "    const 0\n    store 1\n"
+    + "    const 0\n    store 2\n"
+    + "loop:\n"
+    + "    load 1\n    const 200\n    if_icmpge done\n"
+    # load+getfield, const+add, load+load: all three fusion shapes, hot.
+    + "    load 0\n    getfield a\n"
+    + "    load 2\n    add\n"
+    + "    const 3\n    add\n"
+    + "    store 2\n"
+    + "    load 0\n    load 0\n    if_acmpeq same\n"
+    + "same:\n"
+    + "    iinc 1 1\n    goto loop\n"
+    + "done:\n"
+    + "    load 2\n    retval\n"
+)
+
+
+class TestSuperinstructions:
+    def test_fusible_pairs_found(self):
+        program = assemble(FUSIBLE_LOOP)
+        method = program.lookup("Main").methods["main"]
+        assert method.fusible, "peephole pass found nothing to fuse"
+
+    @pytest.mark.parametrize("quantum", [1, 2, 3, 7, 100])
+    def test_quantum_split_never_skids(self, quantum):
+        # A fused pair counts as two instructions; when the remaining
+        # budget is one, the plain closure must run instead.  Whatever the
+        # quantum, closure and table agree bit for bit.
+        expected = 200 * (11 + 3)
+        snapshots = {}
+        for dispatch in ("table", "closure"):
+            result, rt = run_one(FUSIBLE_LOOP, [], dispatch,
+                                 quantum=quantum)
+            assert result == expected
+            snapshots[dispatch] = snapshot(rt)
+        assert snapshots["closure"] == snapshots["table"]
+
+    def test_quantum_split_with_threads(self):
+        # Round-robin across a spawned allocator thread: the quantum
+        # boundary now also decides interleaving, so any skid past a fused
+        # pair would shift CG events between threads.
+        source = (
+            "class Node\nfield next\n"
+            + "class Worker\n"
+            + "method Worker.churn(2)\n"
+            + "    const 0\n    store 2\n"
+            + "wloop:\n"
+            + "    load 2\n    load 1\n    if_icmpge wdone\n"
+            + "    new Node\n    pop\n"
+            + "    iinc 2 1\n    goto wloop\n"
+            + "wdone:\n    return\n"
+            + MAIN
+            + "    new Worker\n    const 40\n    spawn churn 2\n"
+            + "    const 0\n    store 0\n"
+            + "    const 0\n    store 1\n"
+            + "loop:\n"
+            + "    load 0\n    const 150\n    if_icmpge done\n"
+            + "    load 1\n    const 2\n    add\n    store 1\n"
+            + "    iinc 0 1\n    goto loop\n"
+            + "done:\n    load 1\n    retval\n"
+        )
+        snapshots = {}
+        for dispatch in ("table", "closure"):
+            result, rt = run_one(source, [], dispatch, quantum=7,
+                                 heap_words=4096)
+            assert result == 300
+            snapshots[dispatch] = snapshot(rt)
+        assert snapshots["closure"] == snapshots["table"]
+
+
 class TestWorkloadDifferential:
-    """Full workloads under both dispatch configs must agree exactly."""
+    """Full workloads under all dispatch configs must agree exactly."""
 
     @pytest.mark.parametrize("name", ["jess", "raytrace"])
     def test_workload_identical(self, name):
         snapshots = {}
-        for dispatch in ("table", "chain"):
+        for dispatch in DISPATCHES:
             wl = get_workload(name, seed=2000)
             config = config_for("cg", wl.heap_words(1))
             config.dispatch = dispatch
@@ -171,3 +331,25 @@ class TestWorkloadDifferential:
                 rt.ops,
             )
         assert snapshots["table"] == snapshots["chain"]
+        assert snapshots["closure"] == snapshots["table"]
+
+    @pytest.mark.parametrize("name", ["bc-arith", "bc-list", "bc-calls"])
+    def test_bytecode_workload_identical(self, name):
+        # The bc-* workloads are pure assembled bytecode, so every executed
+        # instruction flows through the dispatch loop under test.
+        snapshots = {}
+        for dispatch in DISPATCHES:
+            wl = get_workload(name, seed=2000)
+            config = config_for("cg", wl.heap_words(1))
+            config.dispatch = dispatch
+            rt = Runtime(config)
+            wl.execute(rt, 1)
+            snapshots[dispatch] = (
+                rt.collector.stats,
+                rt.collector.final_census(),
+                rt.interpreter.instructions_executed,
+                rt.heap.occupancy(),
+                rt.ops,
+            )
+        assert snapshots["table"] == snapshots["chain"]
+        assert snapshots["closure"] == snapshots["table"]

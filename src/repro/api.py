@@ -266,6 +266,12 @@ class RunRequest:
     #: Maintain the per-opcode ``vm.op.*`` histogram (observational; like
     #: ``tracer``/``profile`` it never changes a run's counters).
     count_opcodes: bool = False
+    #: Spool a :class:`~repro.obs.heartbeat.LiveSnapshot` every N ops so
+    #: ``python -m repro inspect`` can watch the run from another process
+    #: (observational: cadence is deterministic, counters are untouched).
+    heartbeat_every: Optional[int] = None
+    #: Spool directory for heartbeats (default $REPRO_SPOOL or tempdir).
+    heartbeat_spool: Optional[str] = None
     faults: Optional[FaultPlan] = None
     config: Optional[RuntimeConfig] = None
 
@@ -293,6 +299,15 @@ class RunRequest:
             config.profile = True
         if self.count_opcodes:
             config.count_opcodes = True
+        if self.heartbeat_every is not None:
+            config.heartbeat_every = self.heartbeat_every
+            config.heartbeat_spool = self.heartbeat_spool
+            # Stamp the cell identity on every snapshot so the fleet view
+            # can name runs without guessing.
+            config.heartbeat_labels = {
+                "workload": wl.name, "size": self.size,
+                "system": self.system,
+            }
         if self.faults is not None:
             config.faults = self.faults
         return wl, config, heap
@@ -305,7 +320,14 @@ def execute(request: RunRequest) -> RunResult:
     wl, config, heap = request.build()
     runtime = Runtime(config)
     started = time.perf_counter()
-    wl.execute(runtime, request.size)
+    try:
+        wl.execute(runtime, request.size)
+    finally:
+        # Even a run shorter than one heartbeat period (or one that dies
+        # mid-flight) leaves a terminal snapshot on the spool, so the
+        # fleet view can tell "done" from "vanished".
+        if runtime.heartbeat is not None:
+            runtime.heartbeat.close(runtime)
     wall = time.perf_counter() - started
 
     if runtime.collector is not None:
@@ -358,6 +380,8 @@ def run(
     tracer=None,
     profile: bool = False,
     count_opcodes: bool = False,
+    heartbeat_every: Optional[int] = None,
+    heartbeat_spool: Optional[str] = None,
     faults: Optional[FaultPlan] = None,
     config: Optional[RuntimeConfig] = None,
 ) -> RunResult:
@@ -365,14 +389,17 @@ def run(
 
     ``tracer`` installs an event sink for the run; when omitted, the
     ambient tracer from :func:`repro.obs.tracing_to` (if any) is used.
-    ``profile`` turns on the perf_counter phase timers.  ``faults`` arms a
-    deterministic :class:`~repro.faults.FaultPlan`.  Passing ``config``
-    bypasses :func:`config_for` entirely (``system`` is then just the
-    label recorded on the result).
+    ``profile`` turns on the perf_counter phase timers.
+    ``heartbeat_every`` spools a live snapshot every N ops for
+    ``python -m repro inspect``.  ``faults`` arms a deterministic
+    :class:`~repro.faults.FaultPlan`.  Passing ``config`` bypasses
+    :func:`config_for` entirely (``system`` is then just the label
+    recorded on the result).
     """
     return execute(RunRequest(
         workload=workload, size=size, system=system, heap_words=heap_words,
         gc_period_ops=gc_period_ops, seed=seed, tracer=tracer,
-        profile=profile, count_opcodes=count_opcodes, faults=faults,
-        config=config,
+        profile=profile, count_opcodes=count_opcodes,
+        heartbeat_every=heartbeat_every, heartbeat_spool=heartbeat_spool,
+        faults=faults, config=config,
     ))

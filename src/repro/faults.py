@@ -311,7 +311,16 @@ class FaultReport:
 
 
 class CrashDump:
-    """Postmortem snapshot of a runtime, JSON-serializable end to end."""
+    """Postmortem snapshot of a runtime, JSON-serializable end to end.
+
+    Built on the same base serializer as the live-inspection heartbeat
+    (:func:`repro.obs.heartbeat.runtime_snapshot`): both carry the
+    ``cg-snapshot/1`` schema tag plus heap occupancy, equilive/recycle
+    censuses, frame stacks, and fault stats.  A crash dump adds the
+    postmortem sections (``reason``/``site``/``trace_tail``/``retained``/
+    ``fault_plan``); a heartbeat adds liveness identity and the metrics
+    registry instead.
+    """
 
     def __init__(self, data: Dict) -> None:
         self.data = data
@@ -332,22 +341,13 @@ class CrashDump:
                 **extra) -> "CrashDump":
         """Snapshot ``runtime`` after a failure.  Read-only and tolerant:
         every section degrades to ``None`` when its subsystem is absent."""
-        data: Dict[str, object] = {
-            "reason": reason,
-            "site": site,
-            "ops": runtime.ops,
-            "heap": runtime.heap.occupancy(),
-            "allocator": runtime.heap.allocator,
-        }
+        from .obs.heartbeat import runtime_snapshot
+
+        data: Dict[str, object] = runtime_snapshot(runtime)
+        data["kind"] = "crash"
+        data["reason"] = reason
+        data["site"] = site
         data.update(extra)
-        collector = runtime.collector
-        data["equilive"] = (
-            collector.block_census() if collector is not None else None
-        )
-        data["recycle"] = (
-            collector.recycle.census() if collector is not None else None
-        )
-        data["frames"] = cls._frame_stacks(runtime)
         tracer = runtime.tracer
         if tracer.enabled:
             tail = list(tracer)[-cls.TRACE_TAIL:]
@@ -360,26 +360,13 @@ class CrashDump:
         data["retained"] = backstop() if backstop is not None else None
         plan = runtime.config.faults
         data["fault_plan"] = plan.describe() if plan is not None else None
-        stats = getattr(runtime, "fault_stats", None)
-        data["fault_stats"] = dict(stats) if stats else {}
         return cls(data)
 
     @staticmethod
     def _frame_stacks(runtime) -> List[Dict]:
-        stacks = []
-        for thread in runtime.scheduler.threads:
-            frames = []
-            for frame in thread.stack.frames:
-                method = frame.method
-                frames.append({
-                    "frame_id": frame.frame_id,
-                    "depth": frame.depth,
-                    "method": (method.qualified_name
-                               if method is not None else None),
-                    "blocks": len(frame.cg_blocks),
-                })
-            stacks.append({"thread": thread.name, "frames": frames})
-        return stacks
+        from .obs.heartbeat import frame_stacks
+
+        return frame_stacks(runtime)
 
 
 def inject(runtime, site: str, kind: str, message: str,

@@ -12,6 +12,7 @@ Observability::
     python -m repro.harness.cli --trace out.jsonl 4.1   # trace the runs
     python -m repro.harness.cli trace-summary out.jsonl # recount from trace
     python -m repro.harness.cli --metrics out.json 4.1  # per-run metrics
+    python -m repro.harness.cli --heartbeat-every 5000 --spool spool/ 4.2
 """
 
 from __future__ import annotations
@@ -105,10 +106,28 @@ def main(argv=None) -> int:
         help="extra attempts per failing/hanging cell before quarantine "
              "(default: 2)",
     )
+    parser.add_argument(
+        "--heartbeat-every", type=int, default=None, metavar="OPS",
+        help="spool a live snapshot of every run each OPS executed "
+             "opcodes; inspect in-flight with 'python -m repro inspect'",
+    )
+    parser.add_argument(
+        "--spool", metavar="DIR",
+        help="heartbeat spool directory (default: $REPRO_SPOOL or the "
+             "system temp dir)",
+    )
     args = parser.parse_args(argv)
 
     if args.result_cache:
         figures_mod.set_result_cache(args.result_cache)
+
+    if args.heartbeat_every is not None and args.heartbeat_every < 1:
+        print("bad --heartbeat-every: must be >= 1", file=sys.stderr)
+        return 2
+    # Process-global and observational only (never part of a cell key);
+    # set unconditionally so repeated main() calls in one process (tests)
+    # cannot leak a stale heartbeat setting.
+    figures_mod.set_heartbeat(args.heartbeat_every, args.spool)
 
     # Per-opcode execution counts (vm.op.*) only exist when requested:
     # counting swaps in a slower dispatch loop, so it must never tax a

@@ -76,6 +76,22 @@ def set_opcode_counting(flag: bool) -> None:
     _COUNT_OPCODES = bool(flag)
 
 
+#: Ambient heartbeat settings (set by the CLI's --heartbeat-every/--spool):
+#: every cell run through this module — sequentially or in a prefetch
+#: worker — spools live snapshots for ``python -m repro inspect --fleet``.
+#: Observational only and NOT part of the cell key: a cached cell never
+#: re-runs just to heartbeat.
+_HEARTBEAT_EVERY: Optional[int] = None
+_HEARTBEAT_SPOOL: Optional[str] = None
+
+
+def set_heartbeat(every: Optional[int], spool: Optional[str] = None) -> None:
+    """Spool per-run heartbeats every ``every`` ops (None disarms)."""
+    global _HEARTBEAT_EVERY, _HEARTBEAT_SPOOL
+    _HEARTBEAT_EVERY = int(every) if every else None
+    _HEARTBEAT_SPOOL = spool
+
+
 def set_result_cache(path: Optional[str]) -> None:
     """Point the persistent result cache at ``path`` (None disables it)."""
     global _RESULT_CACHE_DIR
@@ -147,6 +163,8 @@ def cached_run(workload: str, size: int, system: str,
                 workload, size, system, gc_period_ops=gc_period_ops,
                 heap_words=heap_words, faults=plan,
                 count_opcodes=_COUNT_OPCODES,
+                heartbeat_every=_HEARTBEAT_EVERY,
+                heartbeat_spool=_HEARTBEAT_SPOOL,
             )
             _disk_store(key, result)
         _CACHE[key] = result
@@ -544,7 +562,8 @@ def _simulate_worker_fault(inject: Optional[Dict]) -> None:
 
 
 def _run_cell(key: Tuple, inject: Optional[Dict] = None,
-              plan_dict: Optional[Dict] = None) -> Tuple[Tuple, Dict]:
+              plan_dict: Optional[Dict] = None,
+              heartbeat: Optional[Dict] = None) -> Tuple[Tuple, Dict]:
     """Worker-process entry point: execute one cell, return it flattened."""
     workload, size, system, gc_period_ops, heap_words = key[:5]
     # key[6] is the parent's _COUNT_OPCODES flag (see cell_key): honouring
@@ -553,10 +572,13 @@ def _run_cell(key: Tuple, inject: Optional[Dict] = None,
     count_opcodes = bool(key[6]) if len(key) > 6 else False
     _simulate_worker_fault(inject)
     plan = FaultPlan.from_dict(plan_dict) if plan_dict else None
+    heartbeat = heartbeat or {}
     result = api_run(
         workload, size, system, gc_period_ops=gc_period_ops,
         heap_words=heap_words, faults=plan,
         count_opcodes=count_opcodes,
+        heartbeat_every=heartbeat.get("every"),
+        heartbeat_spool=heartbeat.get("spool"),
     )
     return key, result_to_dict(result)
 
@@ -587,6 +609,33 @@ def _quarantine_report(key: Tuple, exc: BaseException,
     )
 
 
+def _spool_quarantine(key: Tuple, report: FaultReport) -> None:
+    """Record a quarantined cell in the heartbeat spool (best effort).
+
+    ``repro inspect --fleet`` picks these up so a grid watched from
+    another process shows quarantine state, not just silent gaps.
+    """
+    if _HEARTBEAT_EVERY is None:
+        return
+    from ..obs.heartbeat import default_spool_dir
+    spool = Path(_HEARTBEAT_SPOOL) if _HEARTBEAT_SPOOL else default_spool_dir()
+    try:
+        spool.mkdir(parents=True, exist_ok=True)
+        cell = _cell_id(key).replace("/", "_").replace(":", "-")
+        path = spool / f"quarantine-{cell}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps({
+            "cell": _cell_id(key),
+            "site": report.site,
+            "kind": report.kind,
+            "message": report.message,
+            "context": report.context,
+        }, indent=2))
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
 #: Retry backoff base (seconds); attempt N waits base * 2**N, capped at 2s.
 _BACKOFF_BASE = 0.1
 
@@ -614,6 +663,10 @@ def _run_wave(keys: List[Tuple], jobs: int,
     if not misses:
         return
     plan_dict = plan.to_dict() if plan is not None else None
+    heartbeat = (
+        {"every": _HEARTBEAT_EVERY, "spool": _HEARTBEAT_SPOOL}
+        if _HEARTBEAT_EVERY else None
+    )
     attempts = {key: 0 for key in misses}
     parallel = jobs > 1 and len(misses) > 1
     pool = None
@@ -630,7 +683,9 @@ def _run_wave(keys: List[Tuple], jobs: int,
                 futures = {}
                 for key in pending:
                     inject = _injection_for(plan, key, attempts[key])
-                    futures[pool.submit(_run_cell, key, inject, plan_dict)] = key
+                    futures[pool.submit(
+                        _run_cell, key, inject, plan_dict, heartbeat
+                    )] = key
                 for future, key in futures.items():
                     try:
                         k, data = future.result(timeout=cell_timeout)
@@ -651,9 +706,9 @@ def _run_wave(keys: List[Tuple], jobs: int,
             for key, exc in failures:
                 attempts[key] += 1
                 if attempts[key] > retries:
-                    _QUARANTINE[key] = _quarantine_report(
-                        key, exc, attempts[key]
-                    )
+                    report = _quarantine_report(key, exc, attempts[key])
+                    _QUARANTINE[key] = report
+                    _spool_quarantine(key, report)
                 else:
                     pending.append(key)
             if pending:

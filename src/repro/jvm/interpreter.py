@@ -440,13 +440,14 @@ class Interpreter:
         self._ccache: Dict[JMethod, object] = {}
         dispatch = config.dispatch
         #: Superinstruction fusion is enabled only where the batched closure
-        #: loop runs: with a periodic-GC trigger every instruction must tick
-        #: individually, and in counting mode every instruction must be
+        #: loop runs: with a periodic-GC trigger or a heartbeat armed every
+        #: instruction must tick individually (both fire at exact op
+        #: counts), and in counting mode every instruction must be
         #: observed individually.  (Fault budget slicing is fine — the
         #: weights mechanism keeps fused pairs inside every budget slice.)
         self._fuse = (
             dispatch == "closure"
-            and config.gc_period_ops is None
+            and not runtime._tick_per_op
             and not self.count_ops
         )
         if self.count_ops:
@@ -462,7 +463,7 @@ class Interpreter:
             self.step_n = self._step_n_chain
         elif dispatch == "closure":
             self.step_n = (
-                self._step_n_closure if config.gc_period_ops is None
+                self._step_n_closure if not runtime._tick_per_op
                 else self._step_n_closure_tick
             )
         plan = runtime.config.faults
@@ -632,9 +633,10 @@ class Interpreter:
             profile_depth = len(frames)
         handlers = _HANDLERS
         op_count = bc.OP_COUNT
-        if runtime._gc_period is None:
-            # No periodic-GC trigger: ``tick`` is pure accounting, so charge
-            # the whole quantum in one call instead of once per instruction.
+        if not runtime._tick_per_op:
+            # No periodic-GC trigger or heartbeat: ``tick`` is pure
+            # accounting, so charge the whole quantum in one call instead
+            # of once per instruction.
             # Implicit end-of-code returns are not ticked (matching the
             # per-instruction loop below, which ticks only decoded
             # instructions); the flush happens even if a handler raises, so
@@ -1006,7 +1008,7 @@ class Interpreter:
 
     def _step_n_closure_tick(self, thread: JThread, budget: int,
                              stop_depth: int = 0) -> int:
-        """Closure dispatch with a periodic-GC trigger armed.
+        """Closure dispatch with a periodic-GC trigger or heartbeat armed.
 
         Mirrors the table loop's per-instruction ordering exactly — pc
         advanced, ``executed`` charged, ``tick()``, then the instruction —

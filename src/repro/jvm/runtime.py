@@ -95,6 +95,22 @@ class RuntimeConfig:
     #: the default for every figure and bench run — keeps each hook at a
     #: single is-not-None test, so results stay bit-identical.
     faults: Optional[FaultPlan] = None
+    #: Emit a :class:`~repro.obs.heartbeat.LiveSnapshot` to the spool
+    #: every N mutator operations (``python -m repro inspect`` reads it).
+    #: Pure op-counter cadence — snapshots fire at the same op counts
+    #: under every dispatch tier — and purely observational, so, like
+    #: ``tracer``/``profile``/``count_opcodes``, it is excluded from
+    #: :meth:`fingerprint`.  Off (None) by default: the zero-cost tick
+    #: paths stay bound exactly as before.
+    heartbeat_every: Optional[int] = None
+    #: Spool directory override for heartbeats (default: ``$REPRO_SPOOL``
+    #: or ``<tempdir>/repro-spool``).
+    heartbeat_spool: Optional[str] = None
+    #: Optional Unix datagram socket path each beat is also pushed to.
+    heartbeat_socket: Optional[str] = None
+    #: Identity labels stamped on every snapshot (the harness stamps
+    #: ``workload``/``size``/``system`` so the fleet view can name cells).
+    heartbeat_labels: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         if self.tracing not in TRACING_CHOICES:
@@ -115,6 +131,8 @@ class RuntimeConfig:
                 f"dispatch must be one of {DISPATCH_CHOICES}, got {self.dispatch!r}"
                 f"{did_you_mean(self.dispatch, DISPATCH_CHOICES)}"
             )
+        if self.heartbeat_every is not None and self.heartbeat_every < 1:
+            raise ValueError("heartbeat_every must be >= 1 (or None for off)")
 
     def fingerprint(self) -> str:
         """Digest of every field that changes a run's *results*.
@@ -198,7 +216,36 @@ class Runtime:
         self._write_barrier_fn = getattr(self.tracing, "write_barrier", None)
         self._gc_period = self.config.gc_period_ops
         self._heap_allocate = self.heap.allocate
-        if self._gc_period is None:
+
+        #: Live-inspection heartbeat (:mod:`repro.obs.heartbeat`).  Armed
+        #: via ``heartbeat_every``; cadence is pure op-counter arithmetic
+        #: evaluated in the tick path, so *when* a snapshot fires is
+        #: deterministic even though its wall-clock fields are advisory.
+        self.heartbeat = None
+        self._hb_every = self.config.heartbeat_every
+        self._hb_next = 0
+        if self._hb_every is not None:
+            from ..obs.heartbeat import Heartbeat
+
+            self.heartbeat = Heartbeat(
+                self._hb_every, spool=self.config.heartbeat_spool,
+                socket_path=self.config.heartbeat_socket,
+                labels=self.config.heartbeat_labels,
+            )
+            self._hb_next = self._hb_every
+
+        #: True when front ends must tick per instruction (periodic GC or
+        #: heartbeat armed) instead of batching ticks per quantum — both
+        #: triggers fire at exact op counts only under per-op ticking.
+        self._tick_per_op = (
+            self._gc_period is not None or self.heartbeat is not None
+        )
+        if self.heartbeat is not None:
+            self.tick = (
+                self._tick_heartbeat if self._gc_period is None
+                else self._tick_gc_heartbeat
+            )
+        elif self._gc_period is None:
             # No periodic trigger configured: tick degenerates to a counter
             # bump.  Bind the specialised form as an instance attribute so
             # front ends that cache ``runtime.tick`` pick it up too.
@@ -516,6 +563,39 @@ class Runtime:
     def _tick_count_only(self, n: int = 1) -> None:
         """Specialised :meth:`tick` for runs with no periodic-GC trigger."""
         self.ops += n
+
+    def _hb_fire(self) -> None:
+        """Advance the heartbeat schedule and emit one snapshot.
+
+        The next firing point is computed *before* the beat so a snapshot
+        can never reenter the schedule arithmetic; multiple thresholds
+        crossed by one bulk tick coalesce into a single beat (matching
+        the periodic-GC trigger's catch-up behavior).
+        """
+        every = self._hb_every
+        self._hb_next += every * ((self.ops - self._hb_next) // every + 1)
+        self.heartbeat.beat(self)
+
+    def _tick_heartbeat(self, n: int = 1) -> None:
+        """:meth:`tick` with a heartbeat armed but no periodic GC."""
+        self.ops += n
+        if self.ops >= self._hb_next:
+            self._hb_fire()
+
+    def _tick_gc_heartbeat(self, n: int = 1) -> None:
+        """:meth:`tick` with both the periodic GC and a heartbeat armed.
+
+        The GC trigger runs first (same order as the unadorned tick), so a
+        snapshot taken at a shared boundary observes the post-collection
+        heap.
+        """
+        self.ops += n
+        period = self._gc_period
+        if self.ops - self._last_periodic_gc >= period:
+            self._last_periodic_gc = self.ops
+            self.run_gc()
+        if self.ops >= self._hb_next:
+            self._hb_fire()
 
     def run_gc(self) -> int:
         """Run the tracing collector with observability around it.

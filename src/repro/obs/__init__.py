@@ -14,6 +14,11 @@ Three independent layers, each a no-op unless explicitly enabled:
 * :mod:`repro.obs.profile` — ``perf_counter``-based phase timers
   (interpret, cg-events, msa, recycle-search) plus a per-frame-depth time
   profile (a poor man's flamegraph over the shadow stack).
+* :mod:`repro.obs.heartbeat` / :mod:`repro.obs.inspect` — periodic
+  :class:`LiveSnapshot` heartbeats spooled to disk (and optionally a Unix
+  socket) every N executed opcodes, and the out-of-process
+  ``python -m repro inspect`` reader that renders single runs or a
+  fleet-wide rollup from the spool.
 
 The default wiring installs :data:`NULL_TRACER` and :data:`NULL_PROFILER`,
 whose ``enabled`` flag is ``False``; every hook in the hot paths guards on
@@ -33,12 +38,22 @@ from .events import (
     get_active_tracer,
     write_trace,
 )
+from .heartbeat import (
+    SNAPSHOT_SCHEMA,
+    Heartbeat,
+    LiveSnapshot,
+    default_spool_dir,
+    runtime_snapshot,
+)
 from .metrics import MetricsRegistry, collect_runtime_metrics
 from .profile import NULL_PROFILER, NullProfiler, PhaseProfiler
 
 __all__ = [
     "EVENT_KINDS",
+    "Heartbeat",
+    "LiveSnapshot",
     "MetricsRegistry",
+    "SNAPSHOT_SCHEMA",
     "NULL_PROFILER",
     "NULL_TRACER",
     "NullProfiler",
@@ -48,7 +63,9 @@ __all__ = [
     "Tracer",
     "TraceSummary",
     "collect_runtime_metrics",
+    "default_spool_dir",
     "get_active_tracer",
+    "runtime_snapshot",
     "read_trace",
     "summarize",
     "tracing_to",

@@ -111,6 +111,10 @@ class MetricsRegistry:
             {k: float(v) for k, v in data.get("gauges", {}).items()}
         )
         for name, buckets in data.get("histograms", {}).items():
+            # setdefault first: a histogram serialized with zero buckets
+            # must survive the round trip (merge alone would drop it and
+            # to_dict -> from_dict -> to_dict would not be the identity).
+            registry.histograms.setdefault(name, {})
             registry.merge_histogram(name, buckets)
         return registry
 

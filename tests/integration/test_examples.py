@@ -43,6 +43,12 @@ def test_bytecode_program():
     assert "census matches the hand count: OK" in out
 
 
+def test_inspect_walkthrough():
+    out = run_example("inspect_walkthrough.py", timeout=180)
+    assert "three successive snapshots from a live child: OK" in out
+    assert out.count("cell=jess:1:cg") == 3
+
+
 def test_trace_walkthrough(tmp_path):
     out = run_example("trace_walkthrough.py", str(tmp_path / "trace.jsonl"))
     assert "trace and live counters agree exactly" in out

@@ -1,0 +1,66 @@
+"""Property test: ``MetricsRegistry`` survives to_dict -> JSON -> from_dict.
+
+Heartbeat snapshots carry a full registry dump across a process boundary,
+so the serialized form must be lossless: counters, gauges, and histogram
+bucket *keys* (always strings after :meth:`observe`) all round-trip, and
+``to_dict -> from_dict -> to_dict`` is the identity — including for a
+histogram that happens to have zero buckets.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+names = st.text(
+    st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="._"),
+    min_size=1, max_size=20,
+)
+counters = st.dictionaries(names, st.integers(-(10**9), 10**9), max_size=8)
+gauges = st.dictionaries(
+    names, st.floats(allow_nan=False, allow_infinity=False, width=32),
+    max_size=8,
+)
+# Bucket keys as observe() would produce them: stringified ints or labels.
+buckets = st.dictionaries(
+    st.one_of(names, st.integers(0, 1000).map(str)),
+    st.integers(0, 10**9),
+    max_size=6,
+)
+histograms = st.dictionaries(names, buckets, max_size=6)
+
+
+def build(counter_d, gauge_d, hist_d):
+    reg = MetricsRegistry()
+    reg.counters.update(counter_d)
+    reg.gauges.update(gauge_d)
+    reg.histograms.update({k: dict(v) for k, v in hist_d.items()})
+    return reg
+
+
+@settings(max_examples=200, deadline=None)
+@given(counters, gauges, histograms)
+def test_to_dict_from_dict_identity(counter_d, gauge_d, hist_d):
+    reg = build(counter_d, gauge_d, hist_d)
+    wire = json.loads(json.dumps(reg.to_dict()))
+    assert MetricsRegistry.from_dict(wire).to_dict() == reg.to_dict()
+
+
+def test_empty_histogram_survives():
+    reg = MetricsRegistry()
+    reg.histograms["cg.age_hist"] = {}
+    out = MetricsRegistry.from_dict(reg.to_dict()).to_dict()
+    assert out["histograms"] == {"cg.age_hist": {}}
+
+
+def test_observe_stringifies_bucket_keys():
+    reg = MetricsRegistry()
+    reg.observe("depth", 3)
+    reg.merge_histogram("depth", {3: 2, "3": 1})
+    assert reg.histograms["depth"] == {"3": 4}
+    wire = json.loads(json.dumps(reg.to_dict()))
+    assert MetricsRegistry.from_dict(wire).to_dict() == reg.to_dict()

@@ -15,7 +15,7 @@ import pytest
 
 from repro.core.policy import CGPolicy
 from repro.harness.costmodel import cost_of
-from repro.harness.runner import run_workload
+from repro.api import run as run_workload
 from repro.jvm.mutator import Mutator
 from repro.jvm.runtime import Runtime, RuntimeConfig
 from repro.workloads import get_workload

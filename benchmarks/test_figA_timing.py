@@ -9,7 +9,7 @@ representative benchmarks at each size.
 import pytest
 
 from repro.harness import figures
-from repro.harness.runner import run_workload
+from repro.api import run as run_workload
 
 from conftest import bench_figure
 

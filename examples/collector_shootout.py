@@ -13,7 +13,7 @@ Run:  python examples/collector_shootout.py [workload] [size]
 
 import sys
 
-from repro.harness.runner import run_workload
+from repro.api import run as run_workload
 from repro.workloads import REGISTRY
 
 

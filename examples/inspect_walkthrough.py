@@ -73,7 +73,12 @@ def main():
                   f"heap={100 * heap.get('occupancy', 0):.1f}%")
         seqs = [(s["pid"], s["seq"]) for s in snapshots]
         assert len(snapshots) == 3, snapshots
-        assert seqs == sorted(set(seqs)), seqs
+        # Three distinct snapshots.  Seqs increase within one run file,
+        # but the child loops the workload forever, so the watcher may
+        # cross into the next run's file, where seq restarts — strict
+        # monotonicity across all three would be a race, not a guarantee.
+        assert len(set(seqs)) == 3, seqs
+        assert all(s["phase"] in ("live", "final") for s in snapshots)
         print("\nthree successive snapshots from a live child: OK")
     finally:
         child.kill()

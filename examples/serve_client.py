@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Client for ``python -m repro serve``: submit a grid over the socket.
+
+Start a server in one terminal::
+
+    PYTHONPATH=src python -m repro serve --socket /tmp/repro.sock --jobs 2 \
+        --result-cache /tmp/repro-cache --spool /tmp/repro-spool
+
+then point this client at it::
+
+    PYTHONPATH=src python examples/serve_client.py --socket /tmp/repro.sock
+
+The client streams one ``run`` request per (workload, system) cell over a
+single connection and prints results as the server completes them — out
+of submission order when the pool's workers finish at different speeds,
+which is the point.  ``--shutdown`` asks the server to exit afterwards
+(used by the CI smoke job so the background server doesn't outlive the
+step).
+
+Exit status is 0 only if every cell came back ``ok: true``, so this
+doubles as the end-to-end health check for the serve path.
+"""
+
+import argparse
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.harness.serve import call, submit_requests  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--socket", required=True, metavar="PATH",
+                        help="Unix socket the server is listening on")
+    parser.add_argument("--workloads", default="db,jess",
+                        help="comma-separated workload names")
+    parser.add_argument("--systems", default="cg,cg-nogc",
+                        help="comma-separated system names")
+    parser.add_argument("--size", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the server's shared result cache")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="ask the server to shut down afterwards")
+    args = parser.parse_args(argv)
+
+    ping = call(args.socket, {"op": "ping"})
+    print(f"server pid {ping['pid']} is up")
+
+    requests = [
+        {"workload": workload, "size": args.size, "system": system}
+        for workload in args.workloads.split(",")
+        for system in args.systems.split(",")
+    ]
+    responses = submit_requests(args.socket, requests,
+                                no_cache=args.no_cache)
+
+    failures = 0
+    for request, response in zip(requests, responses):
+        cell = (f"{request['workload']}:{request['size']}"
+                f":{request['system']}")
+        if response["ok"]:
+            result = response["result"]
+            print(f"  {cell:24} ops={result['ops']:>9}"
+                  f" pid={response['pid']}"
+                  f" {'cache' if response['cached'] else 'ran'}"
+                  f" wall={response['wall_seconds']:.3f}s")
+        else:
+            failures += 1
+            print(f"  {cell:24} FAILED: "
+                  + json.dumps(response["error"]))
+
+    stats = call(args.socket, {"op": "stats"})["stats"]
+    print(f"pool: {stats['completed']} done, {stats['failed']} failed, "
+          f"{stats['steals']} steal(s), {stats['replaced']} replaced, "
+          f"workers {[w['pid'] for w in stats['workers']]}")
+
+    if args.shutdown:
+        print("asking the server to shut down...")
+        print(f"  {call(args.socket, {'op': 'shutdown'})}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -313,6 +313,49 @@ class RunRequest:
         return wl, config, heap
 
 
+#: RunRequest fields that cross process boundaries (everything except the
+#: live-object ones: ``tracer`` and ``config`` hold unpicklable state and
+#: are rejected by :func:`request_to_dict`).
+_REQUEST_FIELDS = (
+    "workload", "size", "system", "heap_words", "gc_period_ops", "seed",
+    "profile", "count_opcodes", "heartbeat_every", "heartbeat_spool",
+)
+
+
+def request_to_dict(request: RunRequest) -> Dict:
+    """Flatten a :class:`RunRequest` to JSON-serializable primitives.
+
+    The wire form used by the worker pool and the ``serve`` socket;
+    :func:`request_from_dict` is the inverse.  Requests carrying a live
+    ``tracer`` or a prebuilt ``config`` are process-local by nature and
+    are rejected here — run those through :func:`execute` directly.
+    """
+    if request.tracer is not None:
+        raise ValueError("a RunRequest with a live tracer cannot be "
+                         "serialized; run it in-process via execute()")
+    if request.config is not None:
+        raise ValueError("a RunRequest with a prebuilt config cannot be "
+                         "serialized; pass system/heap_words instead")
+    if not isinstance(request.workload, str):
+        raise ValueError("only named workloads serialize; got a "
+                         f"{type(request.workload).__name__} instance")
+    data = {name: getattr(request, name) for name in _REQUEST_FIELDS}
+    data["faults"] = (request.faults.to_dict()
+                      if request.faults is not None else None)
+    return data
+
+
+def request_from_dict(data: Dict) -> RunRequest:
+    """Rebuild a :class:`RunRequest` from :func:`request_to_dict` output."""
+    kwargs = {name: data[name] for name in _REQUEST_FIELDS if name in data}
+    faults = data.get("faults")
+    if faults is not None:
+        faults = (faults if isinstance(faults, FaultPlan)
+                  else FaultPlan.from_dict(faults))
+    kwargs["faults"] = faults
+    return RunRequest(**kwargs)
+
+
 def execute(request: RunRequest) -> RunResult:
     """Run one (workload, size, system) cell and gather its results."""
     from .harness.costmodel import cost_of
@@ -403,3 +446,38 @@ def run(
         heartbeat_every=heartbeat_every, heartbeat_spool=heartbeat_spool,
         faults=faults, config=config,
     ))
+
+
+def run_many(requests, jobs: int = 2, *,
+             cell_timeout: Optional[float] = None,
+             retries: int = 2) -> "list[RunResult]":
+    """Execute a batch of :class:`RunRequest`\\ s on the shared worker pool.
+
+    Results come back in request order.  A request whose cell exhausts
+    its retries (worker crash or timeout) raises
+    :class:`~repro.faults.QuarantinedCellError` carrying the pool's
+    :class:`~repro.faults.FaultReport` — the rest of the batch still
+    completes first.  ``jobs=0`` (or 1 with a single request) is the
+    degenerate case and runs in-process.
+    """
+    from .faults import QuarantinedCellError
+
+    requests = list(requests)
+    if jobs <= 1 and len(requests) <= 1:
+        return [execute(r) for r in requests]
+    from .harness.pool import get_shared_pool
+
+    pool = get_shared_pool(max(1, jobs))
+    pool_jobs = pool.submit_batch(
+        [request_to_dict(r) for r in requests],
+        plan=next((r.faults for r in requests if r.faults is not None), None),
+        timeout=cell_timeout, retries=retries,
+    )
+    pool.wait(pool_jobs)
+    results = []
+    for job in pool_jobs:
+        if job.status != "done":
+            key = tuple(job.cell_id.split(":"))
+            raise QuarantinedCellError(key, job.report)
+        results.append(result_from_dict(job.result_dict))
+    return results

@@ -1,8 +1,8 @@
 """Evaluation harness: run configurations and regenerate the paper's figures."""
 
+from ..api import SYSTEMS, RunResult, config_for
 from .costmodel import CostBreakdown, cost_of
 from .figures import ALL_FIGURES, cached_run, clear_cache
-from .runner import SYSTEMS, RunResult, config_for, run_workload
 from .tables import Table, render_all
 
 __all__ = [
@@ -16,5 +16,4 @@ __all__ = [
     "config_for",
     "cost_of",
     "render_all",
-    "run_workload",
 ]

@@ -59,8 +59,19 @@ def run_bench(
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     size: int = 1,
     repeats: int = 3,
+    jobs: int = 1,
 ) -> Dict:
-    """Time every (workload, system) cell; wall time is min over repeats."""
+    """Time every (workload, system) cell; wall time is min over repeats.
+
+    ``jobs > 1`` runs the grid through the persistent worker pool
+    (:mod:`repro.harness.pool`): every (cell, repeat) becomes an uncached
+    job (bench must *time* each run, so no dedupe and no result cache)
+    and the wall time is measured inside the worker around the run
+    itself.  The determinism counters are bit-identical either way —
+    only wall noise differs, which ``--check``'s geomean gate absorbs.
+    """
+    if jobs > 1:
+        return _run_bench_pooled(workloads, systems, size, repeats, jobs)
     entries: List[Dict] = []
     for workload in workloads:
         for system in systems:
@@ -85,6 +96,53 @@ def run_bench(
         "size": size,
         "repeats": repeats,
         "entries": entries,
+    }
+
+
+def _run_bench_pooled(workloads: Sequence[str], systems: Sequence[str],
+                      size: int, repeats: int, jobs: int) -> Dict:
+    from .pool import get_shared_pool
+
+    cells = [(w, s) for w in workloads for s in systems]
+    requests: List[Dict] = []
+    owners: List[Tuple[str, str]] = []
+    for workload, system in cells:
+        for _ in range(max(1, repeats)):
+            requests.append(
+                {"workload": workload, "size": size, "system": system}
+            )
+            owners.append((workload, system))
+    pool = get_shared_pool(jobs)
+    # Deliberately unkeyed: single-flight dedupe would collapse the
+    # repeats into one run, and a cache hit has no wall time to report.
+    pool_jobs = pool.submit_batch(requests)
+    pool.wait(pool_jobs)
+    best: Dict[Tuple[str, str], Dict] = {}
+    for (workload, system), job in zip(owners, pool_jobs):
+        if job.status != "done":
+            report = job.report
+            raise RuntimeError(
+                f"bench cell {workload}/{system} failed in the pool: "
+                f"{report.message if report else 'job lost'}"
+            )
+        wall = job.wall_seconds or 0.0
+        cell = best.get((workload, system))
+        if cell is None or wall < cell["wall_seconds"]:
+            best[(workload, system)] = {
+                "workload": workload,
+                "size": size,
+                "system": system,
+                "wall_seconds": wall,
+                "ops": job.result_dict["ops"],
+                "ops_per_sec": (job.result_dict["ops"] / wall
+                                if wall else 0.0),
+                "alloc_search_steps": job.result_dict["alloc_search_steps"],
+            }
+    return {
+        "version": BENCH_VERSION,
+        "size": size,
+        "repeats": repeats,
+        "entries": [best[cell] for cell in cells],
     }
 
 
@@ -288,6 +346,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="runs per cell; wall time reported is the minimum (default 3)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the grid through an N-worker pool (default 1: in-process)",
+    )
+    parser.add_argument(
         "--out", metavar="PATH", help="write the JSON report to PATH"
     )
     parser.add_argument(
@@ -314,8 +376,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     systems = tuple(args.systems) if args.systems else DEFAULT_SYSTEMS
 
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     report = run_bench(workloads, systems, size=args.size,
-                       repeats=args.repeats)
+                       repeats=args.repeats, jobs=args.jobs)
     for entry in report["entries"]:
         print(
             f"{entry['workload']:>10s} {entry['system']:<10s} "

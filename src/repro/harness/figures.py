@@ -12,18 +12,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..api import RunResult, config_for, result_from_dict, result_to_dict
 from ..api import run as api_run
 from ..faults import (
-    FaultError,
     FaultPlan,
     FaultReport,
     QuarantinedCellError,
-    WorkerFault,
 )
 from ..workloads.base import SIZE_NAMES
 from .tables import Table, pct
@@ -101,7 +98,8 @@ def set_result_cache(path: Optional[str]) -> None:
 def cell_key(workload: str, size: int, system: str,
              gc_period_ops: Optional[int] = None,
              heap_words: Optional[int] = None,
-             plan: Optional[FaultPlan] = None) -> Tuple:
+             plan: Optional[FaultPlan] = None,
+             count_opcodes: Optional[bool] = None) -> Tuple:
     """The cache key for one grid cell.
 
     Includes the full :meth:`RuntimeConfig.fingerprint` of the config the
@@ -109,11 +107,14 @@ def cell_key(workload: str, size: int, system: str,
     so a config change can never serve a stale cached result.  The heap
     size passed to ``config_for`` here is a placeholder: the fingerprint
     deliberately excludes ``heap_words``, which is its own key axis.
+    ``count_opcodes`` defaults to the module's ambient flag; the serve
+    path passes it explicitly (per-request, no ambient state).
     """
     config = config_for(system, heap_words or (1 << 20), gc_period_ops)
     config.faults = plan
+    flag = _COUNT_OPCODES if count_opcodes is None else bool(count_opcodes)
     return (workload, size, system, gc_period_ops, heap_words,
-            config.fingerprint(), _COUNT_OPCODES)
+            config.fingerprint(), flag)
 
 
 def _cache_file(key: Tuple) -> Optional[Path]:
@@ -497,12 +498,15 @@ ALL_FIGURES = {
 # Parallel prefetch
 #
 # The figure generators above are sequential by construction (each row pulls
-# from the shared cache).  ``prefetch`` warms that cache by fanning the
-# (workload, size, system) grid out over worker processes first, so a
-# subsequent generator pass is pure cache hits.  Figures 4.12/4.13 depend on
-# ``pressured_heap`` — a derived heap size read off the ``cg-nogc`` result —
-# so prefetch runs in two waves: everything with a statically known config,
-# then the pressured-heap cells.
+# from the shared cache).  ``prefetch`` warms that cache by submitting the
+# (workload, size, system) grid to the persistent worker pool
+# (:mod:`repro.harness.pool`) first, so a subsequent generator pass is pure
+# cache hits.  Figures 4.12/4.13 depend on ``pressured_heap`` — a derived
+# heap size read off the ``cg-nogc`` result — so prefetch runs in two waves:
+# everything with a statically known config, then the pressured-heap cells.
+# The quarantine/timeout/retry machinery that used to live here moved into
+# the pool; this module is now a thin client that translates cell keys to
+# run requests and pool failures to :data:`_QUARANTINE` entries.
 # ---------------------------------------------------------------------------
 
 #: Cells each figure reads, as (system, sizes, benches) patterns.  Figures
@@ -540,73 +544,28 @@ def _cell_id(key: Tuple) -> str:
     return f"{key[0]}:{key[1]}:{key[2]}"
 
 
-def _simulate_worker_fault(inject: Optional[Dict]) -> None:
-    """Apply a ``harness.worker`` injection inside the (sub)process.
+def _request_for(key: Tuple) -> Dict:
+    """The serialized run request for one cell key (the pool's wire form).
 
-    ``hang`` sleeps (so a per-cell timeout or a generous one both get
-    exercised) and then proceeds; ``crash`` raises a picklable
-    :class:`WorkerFault` — never ``os._exit``, which would poison the
-    whole process pool instead of one future.
+    key[6] is the parent's _COUNT_OPCODES flag (see cell_key): honouring
+    it here keeps pool-computed cells interchangeable with sequential
+    ones — a counting key always maps to a result carrying ``vm.op.*``.
+    The ambient fault plan and heartbeat settings ride along the same
+    way the old worker entry point received them.
     """
-    if not inject:
-        return
-    if inject["kind"] == "hang":
-        time.sleep(float(inject.get("seconds", 2.0)))
-        return
-    raise WorkerFault(FaultReport(
-        site="harness.worker", kind="crash",
-        message=f"injected worker crash in cell {inject.get('cell', '?')}",
-        context={"cell": inject.get("cell", "?"),
-                 "attempt": inject.get("attempt", 0)},
-    ))
-
-
-def _run_cell(key: Tuple, inject: Optional[Dict] = None,
-              plan_dict: Optional[Dict] = None,
-              heartbeat: Optional[Dict] = None) -> Tuple[Tuple, Dict]:
-    """Worker-process entry point: execute one cell, return it flattened."""
     workload, size, system, gc_period_ops, heap_words = key[:5]
-    # key[6] is the parent's _COUNT_OPCODES flag (see cell_key): honouring
-    # it here keeps worker-computed cells interchangeable with sequential
-    # ones — a counting key always maps to a result carrying ``vm.op.*``.
-    count_opcodes = bool(key[6]) if len(key) > 6 else False
-    _simulate_worker_fault(inject)
-    plan = FaultPlan.from_dict(plan_dict) if plan_dict else None
-    heartbeat = heartbeat or {}
-    result = api_run(
-        workload, size, system, gc_period_ops=gc_period_ops,
-        heap_words=heap_words, faults=plan,
-        count_opcodes=count_opcodes,
-        heartbeat_every=heartbeat.get("every"),
-        heartbeat_spool=heartbeat.get("spool"),
-    )
-    return key, result_to_dict(result)
-
-
-def _injection_for(plan: Optional[FaultPlan], key: Tuple,
-                   attempt: int) -> Optional[Dict]:
-    if plan is None:
-        return None
-    spec = plan.worker_injection(_cell_id(key), attempt)
-    if spec is None:
-        return None
-    return {"kind": spec.kind, "seconds": spec.seconds,
-            "cell": _cell_id(key), "attempt": attempt}
-
-
-def _quarantine_report(key: Tuple, exc: BaseException,
-                       attempts: int) -> FaultReport:
-    if isinstance(exc, FaultError):
-        report = exc.report
-        report.context = dict(report.context,
-                              cell=_cell_id(key), attempts=attempts)
-        return report
-    kind = "hang" if isinstance(exc, TimeoutError) else "crash"
-    return FaultReport(
-        site="harness.worker", kind=kind,
-        message=f"{type(exc).__name__}: {exc}",
-        context={"cell": _cell_id(key), "attempts": attempts},
-    )
+    plan = _FAULT_PLAN
+    return {
+        "workload": workload,
+        "size": size,
+        "system": system,
+        "gc_period_ops": gc_period_ops,
+        "heap_words": heap_words,
+        "count_opcodes": bool(key[6]) if len(key) > 6 else False,
+        "heartbeat_every": _HEARTBEAT_EVERY,
+        "heartbeat_spool": _HEARTBEAT_SPOOL,
+        "faults": plan.to_dict() if plan is not None else None,
+    }
 
 
 def _spool_quarantine(key: Tuple, report: FaultReport) -> None:
@@ -636,21 +595,21 @@ def _spool_quarantine(key: Tuple, report: FaultReport) -> None:
         pass
 
 
-#: Retry backoff base (seconds); attempt N waits base * 2**N, capped at 2s.
-_BACKOFF_BASE = 0.1
-
-
 def _run_wave(keys: List[Tuple], jobs: int,
               cell_timeout: Optional[float] = None, retries: int = 2) -> None:
-    """Fill the cache for ``keys``, fanning misses out over processes.
+    """Fill the cache for ``keys``, submitting misses to the worker pool.
 
-    Fault tolerance: each cell gets ``1 + retries`` attempts (with
-    exponential backoff between rounds) and, in parallel mode, at most
-    ``cell_timeout`` seconds per attempt.  A cell that exhausts its
-    attempts is quarantined — recorded with its :class:`FaultReport` so
-    the rest of the grid completes and readers get a structured error.
+    Fault tolerance belongs to the pool now: each cell gets ``1 +
+    retries`` attempts (with exponential backoff between rounds) and at
+    most ``cell_timeout`` seconds per attempt; a crashed worker is
+    replaced and its cell retried.  A cell that exhausts its attempts
+    comes back ``failed`` with a :class:`FaultReport` and is quarantined
+    here, so the rest of the grid completes and readers get a structured
+    error.  No pool is created (or warmed) when every key is already in
+    memory or on disk.
     """
-    plan = _FAULT_PLAN
+    from .pool import get_shared_pool
+
     misses = []
     for key in keys:
         if key in _CACHE or key in _QUARANTINE:
@@ -662,61 +621,28 @@ def _run_wave(keys: List[Tuple], jobs: int,
             misses.append(key)
     if not misses:
         return
-    plan_dict = plan.to_dict() if plan is not None else None
-    heartbeat = (
-        {"every": _HEARTBEAT_EVERY, "spool": _HEARTBEAT_SPOOL}
-        if _HEARTBEAT_EVERY else None
+    pool = get_shared_pool(
+        jobs,
+        cache_dir=str(_RESULT_CACHE_DIR) if _RESULT_CACHE_DIR else None,
+        spool=_HEARTBEAT_SPOOL if _HEARTBEAT_EVERY else None,
     )
-    attempts = {key: 0 for key in misses}
-    parallel = jobs > 1 and len(misses) > 1
-    pool = None
-    if parallel:
-        from concurrent.futures import ProcessPoolExecutor
-
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(misses)))
-    try:
-        pending = list(misses)
-        round_index = 0
-        while pending:
-            failures: List[Tuple[Tuple, BaseException]] = []
-            if parallel:
-                futures = {}
-                for key in pending:
-                    inject = _injection_for(plan, key, attempts[key])
-                    futures[pool.submit(
-                        _run_cell, key, inject, plan_dict, heartbeat
-                    )] = key
-                for future, key in futures.items():
-                    try:
-                        k, data = future.result(timeout=cell_timeout)
-                        result = result_from_dict(data)
-                        _CACHE[key] = result
-                        _disk_store(key, result)
-                    except Exception as exc:  # noqa: BLE001 — quarantine path
-                        failures.append((key, exc))
-            else:
-                for key in pending:
-                    inject = _injection_for(plan, key, attempts[key])
-                    try:
-                        _simulate_worker_fault(inject)
-                        cached_run(*key[:5])
-                    except Exception as exc:  # noqa: BLE001 — quarantine path
-                        failures.append((key, exc))
-            pending = []
-            for key, exc in failures:
-                attempts[key] += 1
-                if attempts[key] > retries:
-                    report = _quarantine_report(key, exc, attempts[key])
-                    _QUARANTINE[key] = report
-                    _spool_quarantine(key, report)
-                else:
-                    pending.append(key)
-            if pending:
-                time.sleep(min(2.0, _BACKOFF_BASE * (2 ** round_index)))
-                round_index += 1
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+    pool_jobs = pool.submit_batch(
+        [_request_for(key) for key in misses],
+        keys=misses, plan=_FAULT_PLAN,
+        timeout=cell_timeout, retries=retries,
+    )
+    pool.wait(pool_jobs)
+    for key, job in zip(misses, pool_jobs):
+        if job.status == "done":
+            _CACHE[key] = result_from_dict(job.result_dict)
+        else:
+            report = job.report or FaultReport(
+                site="harness.worker", kind="crash",
+                message=f"cell {_cell_id(key)} lost by the pool",
+                context={"cell": _cell_id(key), "attempts": job.attempts},
+            )
+            _QUARANTINE[key] = report
+            _spool_quarantine(key, report)
 
 
 def prefetch(figure_ids: Iterable[str], jobs: int,

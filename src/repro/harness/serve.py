@@ -1,0 +1,415 @@
+"""``python -m repro serve`` — the worker pool as a long-running service.
+
+The final layer of the pool refactor: a Unix-socket front door that turns
+the harness from a batch script into a resident service.  A server owns
+one :class:`~repro.harness.pool.WorkerPool` and accepts line-delimited
+JSON over ``SOCK_STREAM`` connections; clients submit serialized
+:class:`~repro.api.RunRequest`\\ s and receive serialized
+:class:`~repro.api.RunResult`\\ s as each completes — responses stream
+back in *completion* order, tagged with the caller's ``id``, so one
+connection can keep many cells in flight.
+
+Wire protocol (one JSON object per line, both directions)::
+
+    -> {"op": "run", "id": "cell-1", "request": {"workload": "jess", ...},
+        "no_cache": false}
+    <- {"id": "cell-1", "ok": true, "cached": false, "pid": 12345,
+        "wall_seconds": 0.41, "result": {...}}          # result_to_dict
+    <- {"id": "cell-2", "ok": false,
+        "error": {"site": "harness.worker", "kind": "crash", ...}}
+
+    -> {"op": "ping"}            <- {"ok": true, "op": "ping", "pid": ...}
+    -> {"op": "stats"}           <- {"ok": true, "op": "stats", "stats": {...}}
+    -> {"op": "shutdown"}        <- {"ok": true, "op": "shutdown"}
+
+Semantics worth noting:
+
+* ``run`` requests are keyed through the same cell-key digest as the
+  figure cache, so the serve path, ``prefetch``, and ``bench`` all share
+  one on-disk result cache, and two clients asking for the same cell
+  single-flight onto one worker run (``no_cache: true`` opts out).
+* Fault tolerance is the pool's: a worker crash mid-request is retried
+  and, past its retry budget, comes back as a structured ``ok: false``
+  error — the connection (and every other in-flight request) survives.
+* The pool publishes ``pool-<pid>.json`` and workers spool heartbeats to
+  the same directory, so ``python -m repro inspect --fleet`` renders the
+  live service.
+
+Failure responses never close the connection; only EOF from the client,
+a malformed line (unparseable JSON gets an ``ok: false`` reply, then the
+line is dropped), or server shutdown do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import socket
+import sys
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..faults import FaultPlan
+from .pool import WorkerPool
+
+#: Sentinel pushed onto a connection outbox to stop its writer thread.
+_CLOSE = object()
+
+
+def request_key(request: Dict):
+    """The cell key for a serialized run request (shared-cache identity).
+
+    Delegates to :func:`repro.harness.figures.cell_key` so a cell served
+    over the socket digests to the *same* on-disk cache entry the figure
+    prefetcher and the sequential generators use.
+    """
+    from .figures import cell_key
+
+    plan = (FaultPlan.from_dict(request["faults"])
+            if request.get("faults") else None)
+    return cell_key(
+        request.get("workload", "?"),
+        request.get("size", 1),
+        request.get("system", "cg"),
+        request.get("gc_period_ops"),
+        request.get("heap_words"),
+        plan=plan,
+        count_opcodes=request.get("count_opcodes", False),
+    )
+
+
+class ServeServer:
+    """One listening Unix socket in front of one :class:`WorkerPool`."""
+
+    def __init__(self, socket_path: str, pool: WorkerPool, *,
+                 fault_plan: Optional[FaultPlan] = None,
+                 heartbeat_every: Optional[int] = None) -> None:
+        self.socket_path = str(socket_path)
+        self.pool = pool
+        self.fault_plan = fault_plan
+        self.heartbeat_every = heartbeat_every
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(self.socket_path)
+        self._listener.listen(16)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`shutdown` (or socket teardown)."""
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed by shutdown()
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="repro-serve-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+
+    def serve_in_background(self) -> threading.Thread:
+        """``serve_forever`` on a daemon thread (tests, embedded servers)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-accept", daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the socket, tear the pool down.  Idempotent."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        self.pool.shutdown()
+
+    # -- per-connection plumbing ----------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        outbox: "queue.Queue" = queue.Queue()
+        writer = threading.Thread(
+            target=self._drain_outbox, args=(conn, outbox),
+            name="repro-serve-writer", daemon=True,
+        )
+        writer.start()
+        pending = {"n": 0}
+        lock = threading.Lock()
+        try:
+            reader = conn.makefile("r", encoding="utf-8")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    outbox.put({"ok": False, "error": {
+                        "kind": "bad-request",
+                        "message": "unparseable JSON line",
+                    }})
+                    continue
+                if not self._handle(message, outbox, pending, lock):
+                    break
+            # EOF from the client: flush whatever is still in flight
+            # before closing (the writer drains the outbox in order).
+            with lock:
+                drained = pending["n"] == 0
+            if not drained:
+                self._await_pending(pending, lock)
+        except OSError:
+            pass
+        finally:
+            outbox.put(_CLOSE)
+            writer.join(timeout=5.0)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _await_pending(self, pending: Dict, lock: threading.Lock,
+                       timeout: float = 60.0) -> None:
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with lock:
+                if pending["n"] == 0:
+                    return
+            time.sleep(0.02)
+
+    def _handle(self, message: Dict, outbox: "queue.Queue",
+                pending: Dict, lock: threading.Lock) -> bool:
+        """Process one request line; False ends the connection loop."""
+        op = message.get("op", "run")
+        if op == "ping":
+            outbox.put({"ok": True, "op": "ping", "pid": os.getpid()})
+            return True
+        if op == "stats":
+            outbox.put({"ok": True, "op": "stats",
+                        "stats": self.pool.stats()})
+            return True
+        if op == "shutdown":
+            outbox.put({"ok": True, "op": "shutdown"})
+            # Close the listener from a helper thread so this connection
+            # can still flush its acknowledgement.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+            return False
+        if op != "run":
+            outbox.put({"id": message.get("id"), "ok": False, "error": {
+                "kind": "bad-request", "message": f"unknown op {op!r}",
+            }})
+            return True
+        request = message.get("request")
+        request_id = message.get("id")
+        if not isinstance(request, dict) or "workload" not in request:
+            outbox.put({"id": request_id, "ok": False, "error": {
+                "kind": "bad-request",
+                "message": "run needs a request object with a workload",
+            }})
+            return True
+        if self.heartbeat_every and not request.get("heartbeat_every"):
+            # Server-armed heartbeats: cells spool live snapshots next to
+            # the pool status file (observational, never part of the key).
+            request = dict(request, heartbeat_every=self.heartbeat_every,
+                           heartbeat_spool=(str(self.pool.spool)
+                                            if self.pool.spool else None))
+        try:
+            key = (None if message.get("no_cache")
+                   else request_key(request))
+            plan = (FaultPlan.from_dict(request["faults"])
+                    if request.get("faults") else self.fault_plan)
+            job = self.pool.submit(request, key=key, plan=plan)
+        except (ValueError, KeyError, TypeError) as exc:
+            outbox.put({"id": request_id, "ok": False, "error": {
+                "kind": "bad-request", "message": str(exc),
+            }})
+            return True
+        with lock:
+            pending["n"] += 1
+
+        def deliver(finished_job) -> None:
+            if finished_job.status == "done":
+                outbox.put({
+                    "id": request_id, "ok": True,
+                    "cached": finished_job.cached,
+                    "pid": finished_job.pid,
+                    "wall_seconds": finished_job.wall_seconds,
+                    "result": finished_job.result_dict,
+                })
+            else:
+                report = finished_job.report
+                outbox.put({
+                    "id": request_id, "ok": False,
+                    "error": (report.to_dict() if report is not None else
+                              {"kind": "crash",
+                               "message": "job lost by the pool"}),
+                })
+            with lock:
+                pending["n"] -= 1
+
+        job.add_done_callback(deliver)
+        return True
+
+    @staticmethod
+    def _drain_outbox(conn: socket.socket, outbox: "queue.Queue") -> None:
+        while True:
+            item = outbox.get()
+            if item is _CLOSE:
+                return
+            try:
+                conn.sendall((json.dumps(item) + "\n").encode("utf-8"))
+            except OSError:
+                return  # client went away; keep draining to _CLOSE
+
+
+# ---------------------------------------------------------------------------
+# Client helpers (used by examples/serve_client.py, tests, and CI)
+# ---------------------------------------------------------------------------
+
+def call(socket_path: str, message: Dict, timeout: float = 30.0) -> Dict:
+    """One request, one response (``ping``/``stats``/``shutdown``)."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path))
+        sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        reader = sock.makefile("r", encoding="utf-8")
+        line = reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection without replying")
+    return json.loads(line)
+
+
+def submit_requests(socket_path: str, requests: Iterable[Dict],
+                    timeout: float = 120.0, *,
+                    no_cache: bool = False) -> List[Dict]:
+    """Stream a batch of run requests over one connection.
+
+    Returns one response per request, re-ordered to match the input
+    (the server streams them back in completion order).  Raises on a
+    dropped connection or on a response for an unknown id — never on an
+    ``ok: false`` response, which is the caller's to interpret.
+    """
+    requests = list(requests)
+    ids = [f"req-{i}" for i in range(len(requests))]
+    responses: Dict[str, Dict] = {}
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path))
+        payload = "".join(
+            json.dumps({"op": "run", "id": rid, "request": request,
+                        "no_cache": no_cache}) + "\n"
+            for rid, request in zip(ids, requests)
+        )
+        sock.sendall(payload.encode("utf-8"))
+        reader = sock.makefile("r", encoding="utf-8")
+        while len(responses) < len(requests):
+            line = reader.readline()
+            if not line:
+                raise ConnectionError(
+                    f"server closed with {len(requests) - len(responses)} "
+                    f"responses outstanding"
+                )
+            response = json.loads(line)
+            rid = response.get("id")
+            if rid not in set(ids) - set(responses):
+                raise ValueError(f"response for unexpected id {rid!r}")
+            responses[rid] = response
+    return [responses[rid] for rid in ids]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve run requests over a Unix socket from a warm "
+                    "worker pool.",
+    )
+    parser.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix socket path to listen on (created; replaced if stale)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes in the pool (default 2)",
+    )
+    parser.add_argument(
+        "--result-cache", metavar="DIR",
+        help="shared on-disk result cache (also $REPRO_RESULT_CACHE)",
+    )
+    parser.add_argument(
+        "--spool", metavar="DIR",
+        help="heartbeat/pool-status spool for `repro inspect --fleet`",
+    )
+    parser.add_argument(
+        "--heartbeat-every", type=int, metavar="OPS",
+        help="arm worker heartbeats every OPS mutator operations",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, metavar="SECONDS",
+        help="per-attempt timeout before a worker is killed and replaced",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="attempts per cell beyond the first (default 2)",
+    )
+    parser.add_argument(
+        "--faults", metavar="PLAN",
+        help="ambient fault plan (see repro.faults.FaultPlan.parse)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.heartbeat_every is not None and args.heartbeat_every < 1:
+        parser.error("--heartbeat-every must be >= 1")
+    fault_plan = None
+    if args.faults:
+        try:
+            fault_plan = FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    cache_dir = args.result_cache or os.environ.get("REPRO_RESULT_CACHE")
+    pool = WorkerPool(
+        args.jobs, cache_dir=cache_dir, spool=args.spool,
+        retries=args.retries, cell_timeout=args.cell_timeout,
+    )
+    server = ServeServer(args.socket, pool, fault_plan=fault_plan,
+                         heartbeat_every=args.heartbeat_every)
+    print(f"[serve] pid={os.getpid()} listening on {args.socket} "
+          f"({args.jobs} workers)", file=sys.stderr, flush=True)
+    warm = pool.warmup()
+    print(f"[serve] workers warm: {sorted(warm.values())}",
+          file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    print("[serve] shut down", file=sys.stderr, flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,7 +48,9 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 #: Version tag carried by every snapshot (heartbeat *and* crash dump).
-SNAPSHOT_SCHEMA = "cg-snapshot/1"
+#: v2 added the ``latency`` section: per-phase p50/p99/max timing
+#: percentiles from the phase profiler (None when profiling is off).
+SNAPSHOT_SCHEMA = "cg-snapshot/2"
 
 #: Snapshots retained per run file (a ring: older beats roll off).
 DEFAULT_RING = 16
@@ -118,6 +120,11 @@ def runtime_snapshot(runtime) -> Dict:
     data["frames"] = frame_stacks(runtime)
     stats = getattr(runtime, "fault_stats", None)
     data["fault_stats"] = dict(stats) if stats else {}
+    profiler = getattr(runtime, "profiler", None)
+    data["latency"] = (
+        profiler.latency_summary()
+        if profiler is not None and profiler.enabled else None
+    )
     return data
 
 

@@ -88,6 +88,30 @@ def discover_runs(spool: Path) -> List[Path]:
     return sorted(runs, key=mtime)
 
 
+def discover_pools(spool: Path) -> List[Dict]:
+    """``pool-<pid>.json`` status files published by the worker pool.
+
+    One per :class:`~repro.harness.pool.WorkerPool` (and hence per
+    ``repro serve`` instance) spooling into this directory: worker pids
+    and states, queue depth, steal/replacement counters.
+    """
+    records: List[Dict] = []
+    try:
+        paths = sorted(spool.glob("pool-*.json"))
+    except OSError:
+        return []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if isinstance(record, dict) and record.get("kind") == "pool":
+            record["path"] = str(path)
+            records.append(record)
+    return records
+
+
 def discover_quarantine(spool: Path) -> List[Dict]:
     """Quarantine records the parallel harness spooled (see figures.py)."""
     records: List[Dict] = []
@@ -188,6 +212,15 @@ def render_snapshot(snapshot: Dict, path: Optional[Path] = None) -> str:
     if fault_stats:
         folded = ", ".join(f"{k}={v}" for k, v in sorted(fault_stats.items()))
         lines.append(f"  faults: {folded}")
+    latency = snapshot.get("latency") or {}
+    for phase, dist in sorted(latency.items()):
+        lines.append(
+            f"  latency {phase}: p50 {dist.get('p50_ms', 0.0):.3f}ms"
+            f" p99 {dist.get('p99_ms', 0.0):.3f}ms"
+            f" max {dist.get('max_ms', 0.0):.3f}ms"
+            f" ({dist.get('samples', 0)} samples,"
+            f" window {dist.get('window', 0)})"
+        )
     top = _top_counters(snapshot)
     if top:
         lines.append(
@@ -235,6 +268,7 @@ def fleet_rollup(spool: Path,
             "heap_occupancy": heap.get("occupancy", 0.0),
         })
     quarantine = discover_quarantine(spool)
+    pools = discover_pools(spool)
     active = [r for r in runs if r["status"] != "done"]
     live_words = sum(r["heap_live_words"] for r in active)
     capacity = sum(r["heap_capacity_words"] for r in active)
@@ -242,6 +276,7 @@ def fleet_rollup(spool: Path,
         "spool": str(spool),
         "runs": runs,
         "quarantine": quarantine,
+        "pools": pools,
         "aggregate": {
             "runs": len(runs),
             "live": sum(1 for r in runs if r["status"] == "live"),
@@ -265,6 +300,25 @@ def render_fleet(rollup: Dict) -> str:
         f" {agg['quarantined']} quarantined,"
         f" {len(agg['workers'])} worker(s)"
     ]
+    for pool in rollup.get("pools", []):
+        workers = pool.get("workers") or []
+        busy = sum(1 for w in workers if w.get("state") == "busy")
+        lines.append(
+            f"  pool pid={pool.get('pid', '?')} [{pool.get('phase', '?')}]:"
+            f" {len(workers)} worker(s) ({busy} busy),"
+            f" {pool.get('queued', 0)} queued,"
+            f" {pool.get('completed', 0)} done,"
+            f" {pool.get('failed', 0)} failed,"
+            f" {pool.get('steals', 0)} steal(s),"
+            f" {pool.get('replaced', 0)} replaced"
+        )
+        for w in workers:
+            cell = f" ← {w['cell']}" if w.get("cell") else ""
+            lines.append(
+                f"    worker {w.get('id', '?')} pid={w.get('pid', '?')}"
+                f" {w.get('state', '?')}"
+                f" ({w.get('jobs_done', 0)} jobs){cell}"
+            )
     if rollup["runs"]:
         header = (f"  {'cell':24} {'pid':>7} {'seq':>5} {'ops':>10}"
                   f" {'heap%':>6} {'status':>6}")

@@ -25,10 +25,14 @@ costs a branch, not a clock read.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, Iterator
+
+#: Per-phase sample window for the latency distribution (a bounded deque:
+#: percentiles reflect the most recent samples, memory stays O(1)).
+SAMPLE_WINDOW = 512
 
 #: Canonical phase names the VM charges (others are allowed).
 PHASE_INTERPRET = "interpret"
@@ -50,10 +54,16 @@ class PhaseProfiler:
         self.calls: Dict[str, int] = defaultdict(int)
         #: stack depth -> interpreter seconds spent at that depth.
         self.depth_seconds: Dict[int, float] = defaultdict(float)
+        #: phase -> bounded window of recent per-sample durations, the
+        #: raw material for :meth:`latency_summary`'s percentiles.
+        self.samples: Dict[str, deque] = defaultdict(
+            lambda: deque(maxlen=SAMPLE_WINDOW)
+        )
 
     def add(self, phase: str, seconds: float) -> None:
         self.seconds[phase] += seconds
         self.calls[phase] += 1
+        self.samples[phase].append(seconds)
 
     def charge_depth(self, depth: int, seconds: float) -> None:
         self.depth_seconds[depth] += seconds
@@ -73,6 +83,37 @@ class PhaseProfiler:
 
     def total_seconds(self) -> float:
         return sum(self.seconds.values())
+
+    def latency_summary(self) -> Dict[str, Dict]:
+        """Per-phase timing percentiles over the recent sample window.
+
+        ``{phase: {"p50_ms", "p99_ms", "max_ms", "samples", "window"}}``
+        — nearest-rank percentiles in milliseconds.  ``samples`` is the
+        lifetime count (``calls``); ``window`` is how many of them back
+        the percentiles (at most :data:`SAMPLE_WINDOW`).  This is the
+        timing distribution the ``cg-snapshot`` schema carries: the
+        counters say how much total time each phase took, this says how
+        that time was *shaped* — the tail the paper's no-marking-pause
+        claim is really about.
+        """
+        summary: Dict[str, Dict] = {}
+        for phase in sorted(self.samples):
+            window = sorted(self.samples[phase])
+            if not window:
+                continue
+            n = len(window)
+
+            def rank(q: float) -> float:
+                return window[min(n - 1, max(0, int(q * n + 0.5) - 1))]
+
+            summary[phase] = {
+                "p50_ms": rank(0.50) * 1000.0,
+                "p99_ms": rank(0.99) * 1000.0,
+                "max_ms": window[-1] * 1000.0,
+                "samples": self.calls[phase],
+                "window": n,
+            }
+        return summary
 
     def to_dict(self) -> Dict[str, Dict]:
         return {
@@ -114,6 +155,7 @@ class NullProfiler:
     seconds: Dict[str, float] = {}
     calls: Dict[str, int] = {}
     depth_seconds: Dict[int, float] = {}
+    samples: Dict[str, deque] = {}
 
     def add(self, phase: str, seconds: float) -> None:  # pragma: no cover
         pass
@@ -127,6 +169,9 @@ class NullProfiler:
 
     def total_seconds(self) -> float:
         return 0.0
+
+    def latency_summary(self) -> Dict[str, Dict]:
+        return {}
 
     def to_dict(self) -> Dict[str, Dict]:
         return {"phases": {}, "depth_seconds": {}}

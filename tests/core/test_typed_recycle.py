@@ -132,7 +132,7 @@ class TestTypedVsPlainEfficiency:
 class TestHarnessSystem:
     def test_cg_recycle_typed_system(self):
         from repro.harness.figures import pressured_heap
-        from repro.harness.runner import run_workload
+        from repro.api import run as run_workload
 
         r = run_workload(
             "jack", 1, "cg-recycle-typed",

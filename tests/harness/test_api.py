@@ -7,7 +7,6 @@ from repro import api
 from repro.api import RunRequest, RunResult, config_for, run
 from repro.faults import FaultPlan
 from repro.harness import figures as figures_mod
-from repro.harness import runner
 from repro.jvm.runtime import RuntimeConfig
 
 
@@ -41,16 +40,67 @@ class TestSingleEntrypoint:
         assert armed.cg_stats == clean.cg_stats
 
 
-class TestDeprecationShims:
-    def test_run_workload_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="repro.api.run"):
-            shimmed = runner.run_workload("db", 1, "cg")
-        direct = run("db", 1, "cg")
-        assert shimmed.ops == direct.ops
-        assert shimmed.cg_stats == direct.cg_stats
+class TestRequestSerialization:
+    def test_round_trip_preserves_every_wire_field(self):
+        plan = FaultPlan.parse("heap.alloc:oom:after=1000000000")
+        original = RunRequest("jess", 2, "cg-nogc", heap_words=1 << 18,
+                              gc_period_ops=700, seed=17, profile=True,
+                              count_opcodes=True, faults=plan)
+        restored = api.request_from_dict(api.request_to_dict(original))
+        for field in api._REQUEST_FIELDS:
+            assert getattr(restored, field) == getattr(original, field)
+        assert restored.faults.fingerprint() == plan.fingerprint()
 
-    def test_old_names_still_importable_from_runner(self):
-        from repro.harness.runner import (  # noqa: F401
+    def test_wire_form_is_json_clean(self):
+        import json
+
+        data = api.request_to_dict(RunRequest("db", 1, "cg"))
+        assert json.loads(json.dumps(data)) == data
+
+    def test_live_tracer_and_prebuilt_config_are_rejected(self):
+        from repro.obs.events import Tracer
+
+        with pytest.raises(ValueError, match="tracer"):
+            api.request_to_dict(RunRequest("db", 1, "cg", tracer=Tracer()))
+        with pytest.raises(ValueError, match="config"):
+            api.request_to_dict(RunRequest(
+                "db", 1, "cg", config=RuntimeConfig()))
+
+    def test_workload_objects_are_rejected(self):
+        from repro.workloads import get_workload
+
+        with pytest.raises(ValueError, match="named workloads"):
+            api.request_to_dict(RunRequest(get_workload("db"), 1, "cg"))
+
+
+class TestRunMany:
+    def test_pooled_batch_matches_in_process_runs(self):
+        from repro.harness.pool import shutdown_shared_pool
+
+        requests = [RunRequest(name, 1, "cg-nogc")
+                    for name in ("db", "jess")]
+        try:
+            pooled = api.run_many(requests, jobs=2)
+        finally:
+            shutdown_shared_pool()
+        direct = [api.execute(r) for r in requests]
+        assert [r.ops for r in pooled] == [r.ops for r in direct]
+        assert [r.cg_stats for r in pooled] == [r.cg_stats for r in direct]
+
+    def test_single_request_runs_in_process(self):
+        (result,) = api.run_many([RunRequest("db", 1, "cg-nogc")], jobs=1)
+        assert result.ops == run("db", 1, "cg-nogc").ops
+
+
+class TestRunnerShimGone:
+    def test_runner_module_is_deleted(self):
+        # PR 7 removed the PR-4 deprecation shim; repro.api is the only
+        # entrypoint now.
+        with pytest.raises(ModuleNotFoundError):
+            import repro.harness.runner  # noqa: F401
+
+    def test_old_names_live_on_the_facade(self):
+        from repro.api import (  # noqa: F401
             BIG_HEAP_WORDS,
             SYSTEMS,
             RunResult,

@@ -224,9 +224,13 @@ class TestOpcodeCountingCacheKey:
         assert sum(hist.values()) == result.metrics["counters"]["vm.ops"]
 
     def test_worker_honors_key_flag(self):
+        from repro.harness.pool import execute_request
+
         figures.set_opcode_counting(True)
         key = figures.cell_key("bc-list", 1, "cg")
-        returned_key, flat = figures._run_cell(key)
-        assert returned_key == key
+        request = figures._request_for(key)
+        assert request["count_opcodes"] is True
+        flat, cached, _wall = execute_request(request)
+        assert not cached
         hist = flat["metrics"]["histograms"]["vm.op"]
         assert sum(hist.values()) == flat["metrics"]["counters"]["vm.ops"]

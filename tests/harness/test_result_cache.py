@@ -4,10 +4,10 @@ from collections import Counter
 
 from repro.harness import figures as figures_mod
 from repro.harness.figures import cached_run, clear_cache, prefetch
-from repro.harness.runner import (
+from repro.api import (
     result_from_dict,
     result_to_dict,
-    run_workload,
+    run as run_workload,
 )
 
 

@@ -4,11 +4,11 @@ import pytest
 
 from repro.core.policy import CGPolicy
 from repro.harness.costmodel import cost_of
-from repro.harness.runner import (
+from repro.api import (
     BIG_HEAP_WORDS,
     SYSTEMS,
     config_for,
-    run_workload,
+    run as run_workload,
 )
 from repro.jvm.runtime import Runtime, RuntimeConfig
 from repro.jvm.mutator import Mutator

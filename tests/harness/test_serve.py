@@ -1,0 +1,151 @@
+"""The socket serve mode: RunRequest/RunResult round-trips over Unix sockets."""
+
+import json
+
+import pytest
+
+from repro.api import result_from_dict, run
+from repro.faults import FaultPlan
+from repro.harness.pool import WorkerPool
+from repro.harness.serve import ServeServer, call, request_key, submit_requests
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live server on a fresh socket; torn down even if the test dies."""
+    pool = WorkerPool(2, cache_dir=str(tmp_path / "cache"),
+                      spool=str(tmp_path / "spool"))
+    srv = ServeServer(str(tmp_path / "serve.sock"), pool)
+    srv.serve_in_background()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+
+
+def req(workload="db", size=1, system="cg-nogc", **extra):
+    request = {"workload": workload, "size": size, "system": system}
+    request.update(extra)
+    return request
+
+
+class TestRoundTrip:
+    def test_run_request_round_trips_to_a_run_result(self, server):
+        responses = submit_requests(server.socket_path, [req("db")])
+        (response,) = responses
+        assert response["ok"], response
+        served = result_from_dict(response["result"])
+        direct = run("db", 1, "cg-nogc")
+        assert served.ops == direct.ops
+        assert served.cg_stats == direct.cg_stats
+        assert served.alloc_search_steps == direct.alloc_search_steps
+        assert response["pid"] in server.pool.worker_pids()
+
+    def test_grid_streams_back_in_submission_order(self, server):
+        grid = [req(name) for name in ("db", "jess", "jack")]
+        responses = submit_requests(server.socket_path, grid)
+        assert [r["ok"] for r in responses] == [True, True, True]
+        ops = [result_from_dict(r["result"]).ops for r in responses]
+        direct = [run(name, 1, "cg-nogc").ops
+                  for name in ("db", "jess", "jack")]
+        assert ops == direct
+
+    def test_second_request_hits_the_shared_cache(self, server):
+        first = submit_requests(server.socket_path, [req("db")])[0]
+        second = submit_requests(server.socket_path, [req("db")])[0]
+        assert not first["cached"]
+        assert second["cached"]
+        assert second["result"] == json.loads(json.dumps(first["result"]))
+
+    def test_no_cache_opts_out(self, server):
+        submit_requests(server.socket_path, [req("db")])
+        again = submit_requests(server.socket_path, [req("db")],
+                                no_cache=True)[0]
+        assert again["ok"] and not again["cached"]
+
+
+class TestControlOps:
+    def test_ping(self, server):
+        response = call(server.socket_path, {"op": "ping"})
+        assert response["ok"] and response["op"] == "ping"
+
+    def test_stats_reports_the_pool(self, server):
+        submit_requests(server.socket_path, [req("db")])
+        response = call(server.socket_path, {"op": "stats"})
+        assert response["ok"]
+        stats = response["stats"]
+        assert stats["jobs"] == 2
+        assert stats["completed"] >= 1
+        assert len(stats["workers"]) == 2
+
+    def test_bad_request_gets_a_structured_error_not_a_hangup(self, server):
+        response = call(server.socket_path,
+                        {"op": "run", "id": "x", "request": {}})
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "bad-request"
+        # The server is still healthy afterwards.
+        assert call(server.socket_path, {"op": "ping"})["ok"]
+
+    def test_shutdown_op_acks_then_tears_down(self, tmp_path):
+        pool = WorkerPool(1)
+        srv = ServeServer(str(tmp_path / "s.sock"), pool)
+        srv.serve_in_background()
+        response = call(srv.socket_path, {"op": "shutdown"})
+        assert response["ok"] and response["op"] == "shutdown"
+        srv.pool._dispatcher.join(timeout=10)
+        assert srv._stop.is_set()
+
+
+class TestCrashMidStream:
+    def test_transient_crash_mid_stream_still_completes_the_grid(self, tmp_path):
+        # Attempt 0 of the jess cell os._exits the worker; the pool
+        # replaces it and the retry succeeds, so every response is ok.
+        pool = WorkerPool(2, retries=2)
+        srv = ServeServer(
+            str(tmp_path / "serve.sock"), pool,
+            fault_plan=FaultPlan.parse(
+                "harness.worker:crash:cell=jess:count=1"),
+        )
+        srv.serve_in_background()
+        try:
+            grid = [req(name) for name in ("db", "jess", "jack")]
+            responses = submit_requests(srv.socket_path, grid, timeout=180)
+            assert [r["ok"] for r in responses] == [True, True, True]
+            assert pool.stats()["replaced"] >= 1
+        finally:
+            srv.shutdown()
+
+    def test_poisoned_cell_fails_structured_while_others_complete(self, tmp_path):
+        pool = WorkerPool(2, retries=1)
+        srv = ServeServer(
+            str(tmp_path / "serve.sock"), pool,
+            fault_plan=FaultPlan.parse(
+                "harness.worker:crash:cell=jess:count=inf"),
+        )
+        srv.serve_in_background()
+        try:
+            grid = [req(name) for name in ("db", "jess", "jack")]
+            responses = submit_requests(srv.socket_path, grid, timeout=180)
+            assert responses[0]["ok"] and responses[2]["ok"]
+            poisoned = responses[1]
+            assert poisoned["ok"] is False
+            assert poisoned["error"]["kind"] == "crash"
+            assert poisoned["error"]["context"]["attempts"] == 2
+        finally:
+            srv.shutdown()
+
+
+class TestKeying:
+    def test_request_key_matches_the_figure_cache_key(self):
+        from repro.harness.figures import cell_key
+
+        request = req("db")
+        assert request_key(request) == cell_key("db", 1, "cg-nogc",
+                                                None, None)
+
+    def test_faulted_requests_key_separately(self):
+        clean = request_key(req("db"))
+        armed = request_key(req(
+            "db", faults=FaultPlan.parse("heap.alloc:oom:after=10").to_dict()
+        ))
+        assert clean != armed

@@ -18,7 +18,7 @@ logic falls back to the unfused closures at a slice boundary).
 import pytest
 
 from repro import CGPolicy, Runtime, RuntimeConfig, assemble
-from repro.harness.runner import config_for
+from repro.api import config_for
 from repro.jvm import bytecode as bc
 from repro.jvm.errors import VerifyError
 from repro.workloads.base import get_workload

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.policy import CGPolicy
-from repro.harness.runner import run_workload
+from repro.api import run as run_workload
 from repro.jvm.heap import (
     ALLOCATOR_CHOICES,
     FreeList,

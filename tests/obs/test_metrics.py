@@ -115,7 +115,7 @@ class TestRuntimeFolding:
         assert reg.counters["heap.objects_created"] == 1
 
     def test_runner_result_carries_metrics(self):
-        from repro.harness.runner import run_workload
+        from repro.api import run as run_workload
 
         result = run_workload("jess", size=1, system="cg")
         counters = result.metrics["counters"]

@@ -172,7 +172,7 @@ class TestVmWiring:
         assert sum(profiler.depth_seconds.values()) > 0.0
 
     def test_metrics_export_profile_gauges(self):
-        from repro.harness.runner import run_workload
+        from repro.api import run as run_workload
 
         result = run_workload("jess", size=1, system="cg", profile=True)
         gauges = result.metrics["gauges"]

@@ -24,7 +24,10 @@ A *system* is one of the named configurations the paper compares:
 ``cg-reset``    CG + the section 3.6 reset pass, MSA forced periodically
 ``cg-segfit``   CG + mark-sweep on the segregated-fit free list
 ``cg-table``    CG + mark-sweep with the table dispatch tier pinned
-                (``dispatch="table"``) — the closure tier's bench baseline
+                (``dispatch="table"``) — the dispatch-ladder baseline
+``cg-closure``  CG + mark-sweep with the closure dispatch tier pinned
+                (``dispatch="closure"``) — the ladder's middle rung and
+                the compiled tier's deopt target
 ``jdk``         the unmodified base system: mark-sweep only
 ``cg-nogc``     CG with the tracing collector disabled and ample storage
 ``jdk-nogc``    the base system idem (the other half of that comparison)
@@ -58,8 +61,8 @@ RESET_PERIOD_OPS = 5000
 
 SYSTEMS = (
     "cg", "cg-noopt", "cg-recycle", "cg-recycle-typed", "cg-reset",
-    "cg-segfit", "cg-table", "jdk", "cg-nogc", "cg-noopt-nogc", "jdk-nogc",
-    "gen", "train",
+    "cg-segfit", "cg-table", "cg-closure", "jdk", "cg-nogc", "cg-noopt-nogc",
+    "jdk-nogc", "gen", "train",
 )
 
 
@@ -94,6 +97,10 @@ def config_for(system: str, heap_words: int,
         return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
                              tracing="marksweep", gc_period_ops=gc_period_ops,
                              dispatch="table")
+    if system == "cg-closure":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops,
+                             dispatch="closure")
     if system == "jdk":
         return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
                              tracing="marksweep", gc_period_ops=gc_period_ops)

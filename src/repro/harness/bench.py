@@ -2,7 +2,7 @@
 
 ``python -m repro bench`` times the (workload, system) grid end-to-end —
 real seconds, not the simulated cost model — and writes a JSON report.
-A committed report (``BENCH_4.json`` at the repo root) serves as the
+A committed report (``BENCH_5.json`` at the repo root) serves as the
 baseline: ``--check BASELINE`` recompares and fails on regression, which
 is what the CI smoke job runs.
 
@@ -17,15 +17,23 @@ Two kinds of comparison, deliberately different in strictness:
   (default 25%).
 
 ``--compare OLDER`` is the *trend* view across baseline generations (e.g.
-``BENCH_4.json`` vs ``BENCH_3.json``): per-cell wall/ops-per-sec deltas
+``BENCH_5.json`` vs ``BENCH_4.json``): per-cell wall/ops-per-sec deltas
 plus the geomean, failing only on a >25% geomean wall regression.  Unlike
 ``--check``, counter drift is reported but does not fail — grids and
 defaults legitimately change between versions (BENCH_4 added the
-``cg-table`` column and the ``bc-*`` interpreter workloads).
+``cg-table`` column and the ``bc-*`` interpreter workloads; BENCH_5 added
+``cg-closure``, ``bc-loop``, and the ``compile_ms`` column).
 
-The grid includes ``cg-table`` (the table-dispatch pin) next to ``cg`` so
-every report carries the closure-vs-table speedup on the interpreter-driven
-``bc-*`` workloads — the dispatch tier's headline number.
+The grid carries the full dispatch ladder — ``cg-table`` (table pin) and
+``cg-closure`` (closure pin) next to ``cg`` (compiled, the default) — so
+every report records the per-tier speedups on the interpreter-driven
+``bc-*`` workloads.  The headline number is the compiled-vs-table geomean,
+which ``--check`` additionally gates with :data:`DISPATCH_FLOOR`: the
+baseline snapshot must record at least the floor, and the live measurement
+must stay within the noise tolerance of it.  Each cell also reports
+``compile_ms`` — the one-time closure-compile + codegen warmup (the
+``compile``/``codegen`` profiler phases), harvested from one extra
+profiled run per cell so the timed runs stay unprofiled.
 """
 
 from __future__ import annotations
@@ -39,19 +47,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..api import run as run_workload
 
-#: Grid defaults: the timing-relevant systems (CG under the default closure
-#: dispatch, the unmodified base system, the segregated-fit allocator
-#: ablation, and the table-dispatch pin used as the closure tier's
-#: speedup baseline).
-DEFAULT_SYSTEMS = ("cg", "jdk", "cg-segfit", "cg-table")
+#: Grid defaults: the timing-relevant systems (CG under the default
+#: compiled dispatch, the unmodified base system, the segregated-fit
+#: allocator ablation, and the table/closure dispatch pins that form the
+#: lower rungs of the dispatch ladder).
+DEFAULT_SYSTEMS = ("cg", "jdk", "cg-segfit", "cg-table", "cg-closure")
 DEFAULT_WORKLOADS = (
     "compress", "jess", "raytrace", "db", "javac", "mpegaudio", "jack",
-    "bc-arith", "bc-list", "bc-calls",
+    "bc-arith", "bc-list", "bc-calls", "bc-loop",
 )
 #: The quick grid used by ``--small`` and the CI smoke job.
 SMALL_WORKLOADS = ("jess", "raytrace", "db", "bc-list")
 
-BENCH_VERSION = 4
+BENCH_VERSION = 5
+
+#: Minimum compiled-vs-table ops/sec geomean over the ``bc-*`` workloads
+#: that a baseline snapshot must record for ``--check`` to pass; the live
+#: rerun must reach ``DISPATCH_FLOOR * (1 - tolerance)`` (wall noise on a
+#: shared machine makes an exact live floor flaky, but a real regression
+#: falls well past the tolerance band).
+DISPATCH_FLOOR = 3.0
 
 
 def run_bench(
@@ -74,22 +89,31 @@ def run_bench(
         return _run_bench_pooled(workloads, systems, size, repeats, jobs)
     entries: List[Dict] = []
     for workload in workloads:
-        for system in systems:
-            best = math.inf
-            result = None
-            for _ in range(max(1, repeats)):
+        # Paired measurement: rep i of *every* system runs back-to-back
+        # before rep i+1, so all of a workload's cells sample the same
+        # machine-speed windows and cross-system ratios (the dispatch
+        # ladder) don't inherit slow CPU drift.  Min over repeats per
+        # cell is taken across the interleaved passes.
+        best: Dict[str, float] = {system: math.inf for system in systems}
+        results: Dict[str, object] = {}
+        for _ in range(max(1, repeats)):
+            for system in systems:
                 started = time.perf_counter()
-                result = run_workload(workload, size, system)
+                results[system] = run_workload(workload, size, system)
                 elapsed = time.perf_counter() - started
-                best = min(best, elapsed)
+                best[system] = min(best[system], elapsed)
+        for system in systems:
+            wall = best[system]
+            result = results[system]
             entries.append({
                 "workload": workload,
                 "size": size,
                 "system": system,
-                "wall_seconds": best,
+                "wall_seconds": wall,
                 "ops": result.ops,
-                "ops_per_sec": result.ops / best if best else 0.0,
+                "ops_per_sec": result.ops / wall if wall else 0.0,
                 "alloc_search_steps": result.alloc_search_steps,
+                "compile_ms": _harvest_compile_ms(workload, size, system),
             })
     return {
         "version": BENCH_VERSION,
@@ -97,6 +121,25 @@ def run_bench(
         "repeats": repeats,
         "entries": entries,
     }
+
+
+def _harvest_compile_ms(workload: str, size: int, system: str) -> float:
+    """One-time dispatch-compilation warmup for a cell, in milliseconds.
+
+    The sum of the ``compile`` (closure compilation) and ``codegen``
+    (Python source generation + ``compile``/``exec``) profiler phases
+    from one *extra* profiled run — the timed repeats stay unprofiled so
+    the phase timers never tax the wall clocks being reported.  Tiers
+    that never compile (chain/table) report 0.0.  The compiled tier's
+    cross-runtime codegen cache is warm by harvest time (the timed
+    repeats populated it), so the codegen share reflects the steady-state
+    binding-rebuild cost — the same cost the timed walls contain.
+    """
+    result = run_workload(workload, size, system, profile=True)
+    gauges = result.metrics.get("gauges", {})
+    seconds = (gauges.get("profile.compile_s", 0.0)
+               + gauges.get("profile.codegen_s", 0.0))
+    return seconds * 1000.0
 
 
 def _run_bench_pooled(workloads: Sequence[str], systems: Sequence[str],
@@ -138,6 +181,10 @@ def _run_bench_pooled(workloads: Sequence[str], systems: Sequence[str],
                                 if wall else 0.0),
                 "alloc_search_steps": job.result_dict["alloc_search_steps"],
             }
+    for (workload, system), cell in best.items():
+        # Harvested in-process: the pool protocol ships counters, not
+        # profiler gauges, and one profiled run per cell is cheap.
+        cell["compile_ms"] = _harvest_compile_ms(workload, size, system)
     return {
         "version": BENCH_VERSION,
         "size": size,
@@ -282,35 +329,44 @@ def trend(current: Dict, baseline: Dict,
 
 
 def dispatch_speedup(report: Dict) -> Tuple[Optional[float], List[str]]:
-    """Closure-vs-table ops/sec ratios from a report's own cells.
+    """Dispatch-ladder ops/sec ratios from a report's own cells.
 
-    Pairs each ``cg`` cell (closure dispatch, the default) with its
-    ``cg-table`` twin and reports the ratio; the geomean is computed over
-    the interpreter-driven ``bc-*`` workloads only — the Mutator-driven
-    workloads never enter the dispatch loop, so their ratio is pure noise.
+    Pairs each ``cg`` cell (compiled dispatch, the default) with its
+    ``cg-table`` twin — and, when present, the ``cg-closure`` middle rung
+    — and reports the per-tier ratios; the headline geomean (the return
+    value) is compiled/table over the interpreter-driven ``bc-*``
+    workloads only — the Mutator-driven workloads never enter the
+    dispatch loop, so their ratio is pure noise.
     Returns ``(geomean_or_None, lines)``.
     """
     lines: List[str] = []
     keyed = _keyed(report)
     bc_ratios = []
+    closure_ratios = []
     for (workload, size, system) in sorted(keyed):
         if system != "cg":
             continue
         twin = keyed.get((workload, size, "cg-table"))
         if twin is None:
             continue
-        closure = keyed[(workload, size, system)].get("ops_per_sec") or 0.0
+        compiled = keyed[(workload, size, system)].get("ops_per_sec") or 0.0
         table = twin.get("ops_per_sec") or 0.0
-        if not closure or not table:
+        if not compiled or not table:
             continue
-        ratio = closure / table
+        ratio = compiled / table
+        mid = keyed.get((workload, size, "cg-closure"))
+        closure = (mid.get("ops_per_sec") or 0.0) if mid else 0.0
+        rung = f" (closure {closure:,.0f} = {closure / table:.2f}x)" \
+            if closure else ""
         marker = ""
         if workload.startswith("bc-"):
             bc_ratios.append(ratio)
+            if closure:
+                closure_ratios.append(closure / table)
             marker = "  [dispatch-bound]"
         lines.append(
-            f"{workload}: closure {closure:,.0f} ops/s vs "
-            f"table {table:,.0f} ops/s = {ratio:.2f}x{marker}"
+            f"{workload}: compiled {compiled:,.0f} ops/s vs "
+            f"table {table:,.0f} ops/s = {ratio:.2f}x{rung}{marker}"
         )
     geomean = None
     if bc_ratios:
@@ -318,9 +374,57 @@ def dispatch_speedup(report: Dict) -> Tuple[Optional[float], List[str]]:
             sum(math.log(r) for r in bc_ratios) / len(bc_ratios)
         )
         lines.append(
-            f"closure/table geomean over bc-* workloads: {geomean:.2f}x"
+            f"compiled/table geomean over bc-* workloads: {geomean:.2f}x"
+        )
+    if closure_ratios:
+        closure_geomean = math.exp(
+            sum(math.log(r) for r in closure_ratios) / len(closure_ratios)
+        )
+        lines.append(
+            f"closure/table geomean over bc-* workloads: "
+            f"{closure_geomean:.2f}x"
         )
     return geomean, lines
+
+
+def check_dispatch_floor(current: Dict, baseline: Dict,
+                         tolerance: float = 0.25) -> Tuple[bool, List[str]]:
+    """Gate the compiled-tier speedup against :data:`DISPATCH_FLOOR`.
+
+    Two checks, matching the harness's split between determinism and
+    noise: the *baseline snapshot* must record a compiled/table ``bc-*``
+    geomean of at least the floor (the canonical number, measured when
+    the snapshot was generated), and the *live* rerun must reach
+    ``floor * (1 - tolerance)`` — loose enough to absorb shared-machine
+    wall noise, tight enough that a real dispatch regression fails.
+    Reports with no ``bc-*`` ladder cells (e.g. ``--small`` grids without
+    both pins) pass vacuously.
+    """
+    lines: List[str] = []
+    ok = True
+    base_geomean, _ = dispatch_speedup(baseline)
+    live_geomean, _ = dispatch_speedup(current)
+    if base_geomean is not None:
+        verdict = "ok" if base_geomean >= DISPATCH_FLOOR else "FAIL"
+        lines.append(
+            f"baseline compiled/table geomean: {base_geomean:.2f}x "
+            f"(floor {DISPATCH_FLOOR:.1f}x) - {verdict}"
+        )
+        if base_geomean < DISPATCH_FLOOR:
+            ok = False
+    if live_geomean is not None:
+        live_floor = DISPATCH_FLOOR * (1.0 - tolerance)
+        verdict = "ok" if live_geomean >= live_floor else "FAIL"
+        lines.append(
+            f"live compiled/table geomean: {live_geomean:.2f}x "
+            f"(floor {live_floor:.2f}x with {tolerance:.0%} noise band)"
+            f" - {verdict}"
+        )
+        if live_geomean < live_floor:
+            ok = False
+    if base_geomean is None and live_geomean is None:
+        lines.append("no bc-* dispatch-ladder cells; floor not applicable")
+    return ok, lines
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -385,7 +489,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{entry['workload']:>10s} {entry['system']:<10s} "
             f"{entry['wall_seconds']:.4f}s  "
             f"{entry['ops_per_sec']:>12.0f} ops/s  "
-            f"{entry['alloc_search_steps']:>10d} alloc steps"
+            f"{entry['alloc_search_steps']:>10d} alloc steps  "
+            f"{entry.get('compile_ms', 0.0):>7.2f} compile_ms"
         )
     speedup, speedup_lines = dispatch_speedup(report)
     for line in speedup_lines:
@@ -417,9 +522,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"cannot load baseline: {exc}", file=sys.stderr)
             return 2
         ok, lines = compare(report, baseline, tolerance=args.tolerance)
-        for line in lines:
+        floor_ok, floor_lines = check_dispatch_floor(
+            report, baseline, tolerance=args.tolerance
+        )
+        for line in lines + floor_lines:
             print(line)
-        if not ok:
+        if not (ok and floor_ok):
             print("[bench] regression check FAILED", file=sys.stderr)
             failed = True
         else:

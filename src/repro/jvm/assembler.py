@@ -224,6 +224,7 @@ def _assemble_method(program: Program, pm: _PendingMethod) -> None:
     method = JMethod(method_name, pm.nargs, nlocals=nlocals, code=code)
     method.labels = labels
     method.fusible = peephole_fusible(code)
+    method.block_starts = block_leaders(code)
     cls.add_method(method)
 
 
@@ -269,6 +270,39 @@ def peephole_fusible(code: List[Instruction]) -> Tuple[int, ...]:
         else:
             i += 1
     return tuple(pairs)
+
+
+#: Opcodes after which control cannot simply fall through to the next pc
+#: inside one generated straight-line block: invokes and spawns hand the
+#: driving loop a frame change (or a deopt), so the next pc must be an
+#: entry point.
+_BLOCK_ENDERS_FALLTHROUGH = frozenset({
+    bc.INVOKESTATIC, bc.INVOKEVIRTUAL, bc.SPAWN, bc.RETURN, bc.RETVAL,
+})
+
+
+def block_leaders(code: List[Instruction]) -> Tuple[int, ...]:
+    """Basic-block leader pcs, for the compiled dispatch tier's codegen.
+
+    Classic leader analysis over the assembled (label-resolved) code: pc 0,
+    every branch target, the fallthrough pc after every branch, and the pc
+    after every invoke/spawn/return (the compiled tier exits its generated
+    function on frame changes and deopts, so the resumption pc must be an
+    entry point).  ``len(code)`` — the implicit-return sentinel — is always
+    a leader.  Targets outside ``[0, len(code)]`` (possible in hand-built
+    code with wild branches) are dropped; the interpreter clamps such pcs
+    to the sentinel at run time.
+    """
+    end = len(code)
+    leaders = {0, end}
+    for pc, (op, a, _b) in enumerate(code):
+        if op in _BRANCHES:
+            if isinstance(a, int):
+                leaders.add(a)
+            leaders.add(pc + 1)
+        elif op in _BLOCK_ENDERS_FALLTHROUGH:
+            leaders.add(pc + 1)
+    return tuple(sorted(pc for pc in leaders if 0 <= pc <= end))
 
 
 def _parse_int(token: str, lineno: int) -> int:

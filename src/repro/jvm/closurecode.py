@@ -19,7 +19,7 @@ attribute traffic.  A closure returns the next pc, or a negative sentinel:
   only decoded instructions, never the implicit end-of-code return.
 
 Two further techniques ride on top, both semantics-preserving (the
-three-way opcode-parity suite in ``tests/jvm/test_dispatch.py`` is the
+four-way opcode-parity suite in ``tests/jvm/test_dispatch.py`` is the
 oracle):
 
 **Quickening.**  ``getstatic``/``putstatic``/``invokestatic``/``new``
@@ -77,6 +77,44 @@ def _bind_interpreter_symbols() -> None:
         _div_zero = _interp_mod._div_zero
 
 
+class QuickeningState:
+    """Shared per-(runtime, method) quickening cells.
+
+    Both the closure tier and the compiled tier (:mod:`repro.jvm.
+    compiledcode`) speculate on the same resolution results: resolved
+    statics/classes/methods for ``getstatic``/``putstatic``/``new``/
+    ``invokestatic``, and the monomorphic inline cache for
+    ``invokevirtual``.  Keeping the cells *outside* the closures (one
+    one-element list per call site) lets either tier's first execution
+    feed the other: the closure generic slot resolves and fills the cell,
+    the compiled tier's generated code reads the cell behind a guard and
+    deopts back to the closure slot while it is still empty.  Resolution
+    is not counter-observable (it precedes the same runtime-service calls
+    in the same order), so sharing never perturbs parity.
+    """
+
+    __slots__ = ("cells", "vcalls")
+
+    def __init__(self) -> None:
+        #: pc -> ``[resolved-or-None]``: ``statics.get`` for getstatic,
+        #: the JClass for putstatic/new, the JMethod for invokestatic.
+        self.cells: dict = {}
+        #: pc -> ``([cache_cls], [cache_method])`` for invokevirtual.
+        self.vcalls: dict = {}
+
+    def cell(self, pc: int) -> list:
+        cell = self.cells.get(pc)
+        if cell is None:
+            cell = self.cells[pc] = [None]
+        return cell
+
+    def vcall(self, pc: int) -> Tuple[list, list]:
+        pair = self.vcalls.get(pc)
+        if pair is None:
+            pair = self.vcalls[pc] = ([None], [None])
+        return pair
+
+
 class CompiledMethod(NamedTuple):
     """One method's compiled form (per-runtime, cached by the interpreter)."""
 
@@ -94,6 +132,9 @@ class CompiledMethod(NamedTuple):
     opmap: Tuple[int, ...]
     #: ``len(method.code)`` — the sentinel slot's index.
     ilen: int
+    #: Shared quickening cells (see :class:`QuickeningState`); the compiled
+    #: tier's codegen reads these as speculative constants behind guards.
+    quick: QuickeningState
 
 
 #: if_icmp* opcode -> comparison callable, for the fused compare-and-branch
@@ -123,9 +164,10 @@ def compile_method(interp, method: JMethod, fuse: bool = False) -> CompiledMetho
     runtime = interp.runtime
     code = method.code
     ilen = len(code)
+    quick = QuickeningState()
     ccode: List[Callable] = [None] * (ilen + 1)
     for pc, (op, a, b) in enumerate(code):
-        ccode[pc] = _compile_one(interp, runtime, ccode, pc, op, a, b)
+        ccode[pc] = _compile_one(interp, runtime, ccode, quick, pc, op, a, b)
     ccode[ilen] = _make_implicit_return(interp)
     opmap = tuple(op for op, _, _ in code)
 
@@ -149,7 +191,7 @@ def compile_method(interp, method: JMethod, fuse: bool = False) -> CompiledMetho
                 ccode[pc] = fused
                 w[pc] = 2
             weights = tuple(w)
-    return CompiledMethod(ccode, weights, plain, opmap, ilen)
+    return CompiledMethod(ccode, weights, plain, opmap, ilen, quick)
 
 
 # ---------------------------------------------------------------------------
@@ -163,7 +205,7 @@ def compile_method(interp, method: JMethod, fuse: bool = False) -> CompiledMetho
 # ---------------------------------------------------------------------------
 
 
-def _compile_one(interp, runtime, ccode, pc, op, a, b) -> Callable:
+def _compile_one(interp, runtime, ccode, quick, pc, op, a, b) -> Callable:
     nxt = pc + 1
 
     if op == bc.CONST:
@@ -228,11 +270,13 @@ def _compile_one(interp, runtime, ccode, pc, op, a, b) -> Callable:
         # Quickened: the class-name lookup happens on first execution (so a
         # never-executed bad operand never raises, as in the other tiers),
         # then the slot is rewritten with the resolved JClass bound in.
+        # The shared cell lets the compiled tier pick the class up too.
         allocate = runtime.allocate
         lookup = runtime.program.lookup
+        cell = quick.cell(pc)
 
         def op_new_generic(frame, thread):
-            cls = lookup(a)
+            cls = cell[0] = lookup(a)
 
             def op_new(frame, thread):
                 frame.stack.append(allocate(cls, thread))
@@ -279,10 +323,10 @@ def _compile_one(interp, runtime, ccode, pc, op, a, b) -> Callable:
         return op_putfield
 
     if op == bc.GETSTATIC:
-        return _q_getstatic(runtime, ccode, pc, a, nxt)
+        return _q_getstatic(runtime, ccode, quick, pc, a, nxt)
 
     if op == bc.PUTSTATIC:
-        return _q_putstatic(runtime, ccode, pc, a, nxt)
+        return _q_putstatic(runtime, ccode, quick, pc, a, nxt)
 
     if op == bc.AALOAD:
         load_element = runtime.load_element
@@ -348,10 +392,10 @@ def _compile_one(interp, runtime, ccode, pc, op, a, b) -> Callable:
         return op_intern
 
     if op == bc.INVOKESTATIC:
-        return _q_invokestatic(interp, ccode, pc, a, nxt)
+        return _q_invokestatic(interp, ccode, quick, pc, a, nxt)
 
     if op == bc.INVOKEVIRTUAL:
-        return _q_invokevirtual(interp, runtime, a, b, nxt)
+        return _q_invokevirtual(interp, runtime, quick, pc, a, b, nxt)
 
     if op == bc.RETURN:
         _return = interp._return
@@ -555,16 +599,17 @@ def _split_static_ref(operand) -> Tuple[str, str]:
     return tuple(operand.rsplit(".", 1))
 
 
-def _q_getstatic(runtime, ccode, pc, operand, nxt) -> Callable:
+def _q_getstatic(runtime, ccode, quick, pc, operand, nxt) -> Callable:
     lookup = runtime.program.lookup
     cls_name, field = _split_static_ref(operand)
+    cell = quick.cell(pc)
 
     def op_getstatic_generic(frame, thread):
         cls = lookup(cls_name)
         # runtime.load_static is a plain table.get; binding the class's
         # (identity-stable, mutated-in-place) statics dict keeps the
         # semantics while dropping both the lookup and the call.
-        statics_get = cls.statics.get
+        statics_get = cell[0] = cls.statics.get
 
         def op_getstatic(frame, thread):
             frame.stack.append(statics_get(field))
@@ -574,13 +619,14 @@ def _q_getstatic(runtime, ccode, pc, operand, nxt) -> Callable:
     return op_getstatic_generic
 
 
-def _q_putstatic(runtime, ccode, pc, operand, nxt) -> Callable:
+def _q_putstatic(runtime, ccode, quick, pc, operand, nxt) -> Callable:
     lookup = runtime.program.lookup
     store_static = runtime.store_static
     cls_name, field = _split_static_ref(operand)
+    cell = quick.cell(pc)
 
     def op_putstatic_generic(frame, thread):
-        cls = lookup(cls_name)
+        cls = cell[0] = lookup(cls_name)
 
         def op_putstatic(frame, thread):
             # Must stay a runtime.store_static call: putstatic is a CG
@@ -592,12 +638,13 @@ def _q_putstatic(runtime, ccode, pc, operand, nxt) -> Callable:
     return op_putstatic_generic
 
 
-def _q_invokestatic(interp, ccode, pc, qualified, nxt) -> Callable:
+def _q_invokestatic(interp, ccode, quick, pc, qualified, nxt) -> Callable:
     resolve = interp.runtime.program.resolve
     invoke = interp._invoke
+    cell = quick.cell(pc)
 
     def op_invokestatic_generic(frame, thread):
-        method = resolve(qualified)
+        method = cell[0] = resolve(qualified)
 
         def op_invokestatic(frame, thread):
             frame.pc = nxt
@@ -608,7 +655,7 @@ def _q_invokestatic(interp, ccode, pc, qualified, nxt) -> Callable:
     return op_invokestatic_generic
 
 
-def _q_invokevirtual(interp, runtime, name, nargs, nxt) -> Callable:
+def _q_invokevirtual(interp, runtime, quick, pc, name, nargs, nxt) -> Callable:
     access = runtime.access
     invoke = interp._invoke
     if nargs < 1:
@@ -619,9 +666,9 @@ def _q_invokevirtual(interp, runtime, name, nargs, nxt) -> Callable:
     # Monomorphic inline cache: receiver class -> resolved method.  The
     # nargs check runs on every cache fill; a hit reuses a (class, method)
     # pair that already passed it, so the table tier's per-execution check
-    # is preserved in effect.
-    cache_cls = [None]
-    cache_method = [None]
+    # is preserved in effect.  The cells live in the shared QuickeningState
+    # so the compiled tier can guard on the same cache.
+    cache_cls, cache_method = quick.vcall(pc)
 
     def op_invokevirtual(frame, thread):
         receiver = frame.stack[-nargs]

@@ -7,12 +7,15 @@ the opcode's position.  The CG-relevant instructions delegate to the runtime
 services, which raise the collector events; the interpreter itself only
 moves values between locals, operand stacks, and the heap.
 
-Three dispatch tiers share this file's runtime services and must produce
+Four dispatch tiers share this file's runtime services and must produce
 identical stats on every program (the opcode-parity differential suite is
-the oracle): ``closure`` (the default — per-method closure compilation with
-quickening and superinstruction fusion, :mod:`repro.jvm.closurecode`),
-``table`` (the loop below), and ``chain`` (the original if/elif reference,
-retained via ``RuntimeConfig(dispatch="chain")``).
+the oracle): ``compiled`` (the default — per-method compilation to
+generated Python source with guard-protected speculation and deopt to the
+closure tier, :mod:`repro.jvm.compiledcode`), ``closure`` (per-method
+closure compilation with quickening and superinstruction fusion,
+:mod:`repro.jvm.closurecode`), ``table`` (the loop below), and ``chain``
+(the original if/elif reference, retained via
+``RuntimeConfig(dispatch="chain")``).
 
 Threading: :meth:`Interpreter.run_program` drives the deterministic
 round-robin scheduler — each runnable thread executes up to a quantum of
@@ -27,13 +30,14 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
-from ..faults import NativeCallFault, TrapFault, inject
-from ..obs.profile import PHASE_COMPILE, PHASE_INTERPRET
+from ..faults import NativeCallFault, TrapFault, did_you_mean, inject
+from ..obs.profile import PHASE_CODEGEN, PHASE_COMPILE, PHASE_INTERPRET
 from . import bytecode as bc
 from .errors import NullPointerError, VerifyError, VMError
 from .heap import Handle
 from .model import JClass, JMethod, Program
 from .natives import NativeEnv
+from .runtime import DISPATCH_CHOICES
 from .threads import JThread
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -438,13 +442,37 @@ class Interpreter:
         #: JMethod -> CompiledMethod for the closure tier.  Per-interpreter:
         #: compiled closures bind this runtime's services.
         self._ccache: Dict[JMethod, object] = {}
+        #: JMethod -> PyCompiledMethod for the compiled tier (the generated
+        #: Python form; its closure-tier form lives in ``_ccache``).
+        self._pycache: Dict[JMethod, object] = {}
+        #: Out-parameter cells for the compiled tier's generated functions.
+        #: ``[0]``: on an exception, the instructions retired before the
+        #: raise (re-entrant: every raise path *adds* its count just-in-time
+        #: and each driving-loop level consumes its value before
+        #: re-raising).  ``[1]``: implicit end-of-code returns retired
+        #: inside a threaded call (:meth:`_call_threaded`) — counted but
+        #: never ticked; each driver reads and re-zeroes it after every
+        #: generated-``run`` call.
+        self._nout: List[int] = [0, 0]
         dispatch = config.dispatch
+        if dispatch not in DISPATCH_CHOICES:
+            # RuntimeConfig validates at construction; this catches
+            # post-construction mutation (config.dispatch = "typo") and
+            # hand-built configs, which previously fell through silently
+            # to table dispatch.
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_CHOICES}, got {dispatch!r}"
+                f"{did_you_mean(dispatch, DISPATCH_CHOICES)}"
+            )
         #: Superinstruction fusion is enabled only where the batched closure
         #: loop runs: with a periodic-GC trigger or a heartbeat armed every
         #: instruction must tick individually (both fire at exact op
         #: counts), and in counting mode every instruction must be
         #: observed individually.  (Fault budget slicing is fine — the
         #: weights mechanism keeps fused pairs inside every budget slice.)
+        #: The compiled tier never fuses: its deopt path single-steps
+        #: closure slots one instruction at a time, and a fused slot would
+        #: retire two instructions charged as one there.
         self._fuse = (
             dispatch == "closure"
             and not runtime._tick_per_op
@@ -454,9 +482,12 @@ class Interpreter:
             # Counting loops tick per instruction; with no periodic-GC
             # trigger tick() is a pure counter bump, so the observable
             # results stay bit-identical to the batched loops.  Chain
-            # dispatch counts via the table loop (they are parity-equal).
+            # dispatch counts via the table loop (they are parity-equal);
+            # the compiled tier counts via the closure loop (per-opcode
+            # observation needs per-instruction dispatch anyway).
             self.step_n = (
-                self._step_n_closure_counting if dispatch == "closure"
+                self._step_n_closure_counting
+                if dispatch in ("closure", "compiled")
                 else self._step_n_table_counting
             )
         elif dispatch == "chain":
@@ -464,6 +495,15 @@ class Interpreter:
         elif dispatch == "closure":
             self.step_n = (
                 self._step_n_closure if not runtime._tick_per_op
+                else self._step_n_closure_tick
+            )
+        elif dispatch == "compiled":
+            # Per-instruction-tick modes (gc_period_ops / heartbeat) need
+            # control at every instruction boundary — generated blocks
+            # would deopt at every pc, so run the closure tick loop
+            # wholesale instead (bit-identical by the parity suite).
+            self.step_n = (
+                self._step_n_compiled if not runtime._tick_per_op
                 else self._step_n_closure_tick
             )
         plan = runtime.config.faults
@@ -484,11 +524,24 @@ class Interpreter:
         self._push_call(runtime.main_thread, qualified, args)
         scheduler = runtime.scheduler
         quantum = runtime.config.quantum
+        step_n = self.step_n
+        next_thread = scheduler.next_thread
+        threads = scheduler._threads
         while True:
-            thread = scheduler.next_thread()
-            if thread is None:
-                break
-            self.step_n(thread, quantum)
+            # Sole-thread fast path: with one registered thread the
+            # round-robin probe always lands on it with the cursor pinned
+            # at 0, so skipping next_thread() is observationally
+            # identical (a spawn grows the list and drops us back onto
+            # the general path with the cursor state unchanged).
+            if len(threads) == 1:
+                thread = threads[0]
+                if not (thread.alive and thread.stack.frames):
+                    break
+            else:
+                thread = next_thread()
+                if thread is None:
+                    break
+            step_n(thread, quantum)
         return runtime.main_thread.result
 
     def call_sync(self, thread: JThread, qualified: str,
@@ -919,6 +972,191 @@ class Interpreter:
             compiled = compile_method(self, method, fuse=self._fuse)
         self._ccache[method] = compiled
         return compiled
+
+    def _py_compiled_for(self, method: JMethod):
+        """Generated-Python form of ``method`` (compiled once, then cached).
+
+        The closure form is built first — it is the deopt target and owns
+        the quickening cells the codegen reads — and keeps its
+        ``PHASE_COMPILE`` charge; source generation + ``exec`` is charged
+        to ``PHASE_CODEGEN`` so warmup cost decomposes per tier.
+        """
+        try:
+            return self._pycache[method]
+        except KeyError:
+            pass
+        closure = self._compiled_for(method)
+        from .compiledcode import compile_method_py
+
+        profiler = self.runtime.profiler
+        if profiler.enabled:
+            started = perf_counter()
+            compiled = compile_method_py(self, method, closure)
+            profiler.add(PHASE_CODEGEN, perf_counter() - started)
+        else:
+            compiled = compile_method_py(self, method, closure)
+        self._pycache[method] = compiled
+        return compiled
+
+    #: VM call depth beyond which :meth:`_call_threaded` refuses and the
+    #: invoke falls back to the driver bounce.  Threaded calls nest two
+    #: Python frames per VM frame, so this keeps deep recursion (raytrace)
+    #: far from Python's own recursion limit; past the guard the *oldest*
+    #: refusing driver level drives deeper frames iteratively.
+    CALL_THREAD_MAX_DEPTH = 64
+
+    def _call_threaded(self, frame, thread: JThread, budget: int,
+                       nout) -> Tuple[int, bool]:
+        """Drive the frame an invoke site just pushed, without leaving
+        generated code: bound as ``_call`` into the compiled tier, so a VM
+        call costs one Python call instead of two driver round-trips.
+
+        ``frame`` is the *caller*; if it is still on top the invoke was a
+        native that completed inline and there is nothing to drive.
+        Returns ``(executed, done)``.  ``done=False`` hands control back
+        to :meth:`_step_n_compiled` with identical semantics — budget
+        exhausted, a deopt pc needing the closure tail, or the recursion
+        guard.  Ticking stays the outer driver's job; implicit end-of-code
+        returns accumulate in ``nout[1]`` (consumed there).
+        """
+        frames = thread.stack.frames
+        if frames[-1] is frame:
+            return 0, True
+        stop_depth = len(frames) - 1
+        if stop_depth >= self.CALL_THREAD_MAX_DEPTH:
+            return 0, False
+        executed = 0
+        pycache = self._pycache
+        py_for = self._py_compiled_for
+        while len(frames) > stop_depth:
+            if executed >= budget:
+                return executed, False
+            callee = frames[-1]
+            method = callee.method
+            comp = pycache.get(method) or py_for(method)
+            pc = callee.pc
+            if pc not in comp.leaders:
+                return executed, False
+            nout[0] = 0
+            try:
+                k, npc = comp.run(callee, thread, budget - executed, nout)
+            except BaseException:
+                nout[0] += executed
+                raise
+            executed += k
+            if npc == -2:
+                nout[1] += 1
+                continue
+            if npc < 0:
+                continue
+            callee.pc = npc
+            return executed, False
+        return executed, True
+
+    def _step_n_compiled(self, thread: JThread, budget: int,
+                         stop_depth: int = 0) -> int:
+        """The compiled-dispatch loop: run generated straight-line Python
+        per method (:mod:`repro.jvm.compiledcode`), falling back to
+        single-stepped closure slots at non-leader pcs — the deopt path
+        for guard failures, spawns, quantum tails, and sliced budgets.
+
+        The generated ``run`` returns ``(k, next_pc)`` with ``k``
+        instructions retired; ``-1``/``-2`` sentinels and tick accounting
+        follow the closure loop's protocol exactly (``-2`` — the implicit
+        end-of-code return — is counted but never ticked).  On an
+        exception, ``run`` stores its retired count in the shared
+        ``_nout`` cell so a faulting instruction is charged exactly as in
+        the other tiers.
+        """
+        runtime = self.runtime
+        executed = 0
+        frames = thread.stack.frames
+        profiler = runtime.profiler
+        if profiler.enabled:
+            profile_started = perf_counter()
+            profile_depth = len(frames)
+        pycache = self._pycache
+        py_for = self._py_compiled_for
+        nout = self._nout
+        unticked = 0
+        try:
+            while executed < budget and len(frames) > stop_depth:
+                frame = frames[-1]
+                method = frame.method
+                comp = pycache.get(method) or py_for(method)
+                leaders = comp.leaders
+                pc = frame.pc
+                if pc in leaders:
+                    nout[0] = 0
+                    try:
+                        k, npc = comp.run(frame, thread, budget - executed,
+                                          nout)
+                    except BaseException:
+                        executed += nout[0]
+                        u = nout[1]
+                        if u:
+                            unticked += u
+                            nout[1] = 0
+                        raise
+                    executed += k
+                    u = nout[1]
+                    if u:
+                        # Implicit returns retired inside threaded calls:
+                        # counted in k, excluded from the tick (read and
+                        # re-zeroed here so a sync-nested driver never
+                        # consumes another level's increments).
+                        unticked += u
+                        nout[1] = 0
+                    if npc == -2:
+                        unticked += 1
+                        continue
+                    if npc < 0:
+                        continue
+                    frame.pc = npc
+                    if executed >= budget:
+                        continue
+                    # npc is either a refused leader (its block no longer
+                    # fits the remaining budget) or a deopt pc mid-block —
+                    # either way the closure segment below fills the tail.
+                # Closure-dispatched segment: the deopt path and the
+                # quantum tail.  Same inner loop as _step_n_closure plus
+                # a block-fit check to hop back into generated code: only
+                # break at a leader whose whole block is affordable, so
+                # ``run`` is never re-entered just to refuse again.
+                cm = comp.closure
+                ccode = cm.ccode
+                blen = comp.blen
+                pc = frame.pc
+                if pc > cm.ilen:
+                    # Wild branch past the end: any pc >= len(code) is the
+                    # implicit return, as in the other tiers.
+                    pc = cm.ilen
+                limit = budget - executed
+                n = 0
+                try:
+                    while n < limit:
+                        n += 1
+                        pc = ccode[pc](frame, thread)
+                        if pc < 0:
+                            if pc == -2:
+                                unticked += 1
+                            break
+                        if pc in leaders and limit - n >= blen[pc]:
+                            break
+                finally:
+                    executed += n
+                if pc >= 0:
+                    frame.pc = pc
+        finally:
+            ticked = executed - unticked
+            if ticked:
+                runtime.tick(ticked)
+        self.instructions_executed += executed
+        if profiler.enabled:
+            elapsed = perf_counter() - profile_started
+            profiler.add(PHASE_INTERPRET, elapsed)
+            profiler.charge_depth(profile_depth, elapsed)
+        return executed
 
     def _step_n_closure(self, thread: JThread, budget: int,
                         stop_depth: int = 0) -> int:

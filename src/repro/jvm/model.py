@@ -101,7 +101,7 @@ class JMethod:
 
     __slots__ = (
         "name", "nargs", "nlocals", "code", "native", "owner", "labels",
-        "fusible",
+        "fusible", "block_starts",
     )
 
     def __init__(
@@ -127,6 +127,10 @@ class JMethod:
         #: (None = not yet scanned; the closure compiler scans lazily for
         #: hand-built methods that never went through the assembler).
         self.fusible: Optional[Tuple[int, ...]] = None
+        #: Basic-block leader pcs from the assembler's control-flow scan
+        #: (None = not yet scanned; the compiled tier's codegen scans lazily
+        #: for hand-built methods, mirroring ``fusible``).
+        self.block_starts: Optional[Tuple[int, ...]] = None
 
     @property
     def qualified_name(self) -> str:

@@ -40,17 +40,17 @@ if False:  # pragma: no cover - typing-only (imported lazily to break a cycle)
     from ..core.collector import ContaminatedCollector
 
 TRACING_CHOICES = ("marksweep", "none", "generational", "train")
-DISPATCH_CHOICES = ("closure", "table", "chain")
+DISPATCH_CHOICES = ("compiled", "closure", "table", "chain")
 
 
 def default_dispatch() -> str:
     """The default interpreter dispatch tier.
 
-    ``closure`` (the fastest tier) unless the ``REPRO_DISPATCH`` environment
+    ``compiled`` (the fastest tier) unless the ``REPRO_DISPATCH`` environment
     knob overrides it — the CI dispatch-matrix job uses the knob to run the
     whole tier-1 suite under each tier.
     """
-    return os.environ.get("REPRO_DISPATCH", "closure")
+    return os.environ.get("REPRO_DISPATCH", "compiled")
 
 
 @dataclass
@@ -77,13 +77,15 @@ class RuntimeConfig:
     #: search every figure measures; "segregated" is the production-mode
     #: size-class allocator (opt-in, never used by the paper's tables).
     allocator: str = "next-fit"
-    #: Interpreter dispatch strategy: "closure" (the default — bytecode
-    #: compiled once per method into pre-bound zero-decode closures, with
-    #: quickening and superinstruction fusion; see
-    #: :mod:`repro.jvm.closurecode`), "table" (opcode-indexed handler
-    #: tuple) or "chain" (the original if/elif reference, kept for the
-    #: opcode-parity differential suite).  The ``REPRO_DISPATCH`` env var
-    #: overrides the default.
+    #: Interpreter dispatch strategy: "compiled" (the default — bytecode
+    #: compiled once per method to generated Python source with the
+    #: operand stack lowered to locals, guarded speculation, and deopt to
+    #: the closure tier; see :mod:`repro.jvm.compiledcode`), "closure"
+    #: (pre-bound zero-decode closures with quickening and
+    #: superinstruction fusion; :mod:`repro.jvm.closurecode`), "table"
+    #: (opcode-indexed handler tuple) or "chain" (the original if/elif
+    #: reference, kept for the opcode-parity differential suite).  The
+    #: ``REPRO_DISPATCH`` env var overrides the default.
     dispatch: str = field(default_factory=default_dispatch)
     #: Maintain a per-opcode execution histogram (``vm.op.*`` metrics).
     #: Purely observational — selects a counting dispatch loop but never

@@ -4,9 +4,10 @@ The SPEC-shaped workloads drive the runtime through the direct
 :class:`~repro.jvm.mutator.Mutator`, bypassing the interpreter entirely —
 perfect for CG measurements, useless for measuring dispatch cost.  The
 three workloads here are real assembled bytecode executed by
-:meth:`Runtime.run`, so the chain/table/closure tiers actually differ on
-them.  They are the workloads behind the bench harness's closure-vs-table
-speedup column and the three-way parity differential tests.
+:meth:`Runtime.run`, so the chain/table/closure/compiled tiers actually
+differ on them.  They are the workloads behind the bench harness's
+compiled-vs-table speedup ladder and the four-way parity differential
+tests.
 
 * ``bc-arith`` — pure integer arithmetic and branching, zero allocation:
   dispatch overhead in isolation.
@@ -103,6 +104,137 @@ class BcArith(BytecodeWorkload):
     even:
         iinc 1 1
         goto loop
+    done:
+        load 2
+        retval
+    """
+
+    def heap_words(self, size: int) -> int:
+        # Allocates nothing; a small fixed heap keeps construction cheap.
+        return 1024
+
+
+@register
+class BcLoop(BytecodeWorkload):
+    name = "bc-loop"
+    description = "nested-loop + call kernel with long straight-line blocks"
+    source_lines = "N/A"
+    entry = "BcLoop.main"
+    base_iterations = 2200
+
+    # The compiled tier's best case, by construction: the inner loop body
+    # and the helper method are long branchless load/const/arith/store
+    # runs, which the codegen collapses to a few Python statements per
+    # basic block with the operand stack never touching frame.stack.
+    # One invokestatic per outer iteration keeps the call path (frame
+    # push/pop, quickened static dispatch) in the measurement without
+    # letting frame churn dominate the straight-line work.
+    source = """
+    class BcLoop
+
+    method BcLoop.mix(2) locals=2
+        ; locals: 0=acc, 1=i — branchless mixer, returns the new acc
+        load 0
+        const 3
+        mul
+        load 1
+        add
+        store 0
+        load 0
+        const 5
+        mul
+        const 17
+        add
+        store 0
+        load 0
+        load 0
+        add
+        load 1
+        add
+        store 0
+        load 0
+        const 7
+        mul
+        load 1
+        sub
+        store 0
+        load 0
+        const 9
+        mul
+        const 23
+        add
+        store 0
+        load 0
+        const 11
+        mul
+        load 1
+        add
+        store 0
+        load 0
+        const 65521
+        mod
+        store 0
+        load 0
+        retval
+
+    method BcLoop.main(1) locals=4
+        ; locals: 0=iters, 1=i, 2=acc, 3=j
+        const 1
+        store 2
+        const 0
+        store 1
+    outer:
+        load 1
+        load 0
+        if_icmpge done
+        const 10
+        store 3
+    inner:
+        ; five 6-instruction branchless groups, then one bounding mod;
+        ; bottom-tested so each iteration is a single straight-line trace
+        load 2
+        const 3
+        mul
+        load 3
+        add
+        store 2
+        load 2
+        const 5
+        mul
+        load 1
+        add
+        store 2
+        load 2
+        const 7
+        mul
+        load 3
+        sub
+        store 2
+        load 2
+        load 2
+        add
+        const 13
+        add
+        store 2
+        load 2
+        const 9
+        mul
+        load 1
+        sub
+        store 2
+        load 2
+        const 65521
+        mod
+        store 2
+        iinc 3 -1
+        load 3
+        ifnzero inner
+        load 2
+        load 1
+        invokestatic BcLoop.mix
+        store 2
+        iinc 1 1
+        goto outer
     done:
         load 2
         retval

@@ -186,8 +186,11 @@ class TestFaultDispatchParity:
 
     The closure tier fuses superinstructions; the fault wrapper slices the
     budget at the firing point, so a trap must never skid past a fused
-    pair — whatever the ``after`` index, all three tiers stop at exactly
-    the same instruction with the same fault_stats.
+    pair — whatever the ``after`` index, all four tiers stop at exactly
+    the same instruction with the same fault_stats.  The compiled tier
+    adds generated multi-instruction traces: the budget slice must refuse
+    a trace it cannot finish and fall back to single-stepped closures so
+    the trap still lands on the exact index.
     """
 
     # Straight-line const+add blocks: plenty of fused pairs for the trap
@@ -210,7 +213,7 @@ class TestFaultDispatchParity:
         + "done:\n    load 0\n    retval\n"
     )
 
-    DISPATCHES = ("chain", "table", "closure")
+    DISPATCHES = ("chain", "table", "closure", "compiled")
 
     def run_faulted(self, source, plan, dispatch, heap_words=1 << 14):
         program = assemble(source)
@@ -237,6 +240,7 @@ class TestFaultDispatchParity:
             assert rt.interpreter.instructions_executed == after
         assert stops["table"] == stops["chain"]
         assert stops["closure"] == stops["table"]
+        assert stops["compiled"] == stops["table"]
 
     def test_heap_alloc_cascade_identical_across_tiers(self):
         outcomes = {}
@@ -255,6 +259,7 @@ class TestFaultDispatchParity:
             assert rt.fault_stats["injected.heap.alloc"] == 1
         assert outcomes["table"] == outcomes["chain"]
         assert outcomes["closure"] == outcomes["table"]
+        assert outcomes["compiled"] == outcomes["table"]
 
 
 class TestNativeCallEscape:

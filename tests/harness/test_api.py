@@ -135,6 +135,25 @@ class TestConfigValidation:
             RuntimeConfig(allocator="zzzzzz")
         assert "did you mean" not in str(excinfo.value)
 
+    def test_dispatch_mutated_after_construction_caught(self):
+        # __post_init__ ran with a valid value; the (lazily built)
+        # interpreter re-checks so the typo cannot fall through to some
+        # arbitrary tier silently.
+        from repro import Runtime
+
+        config = RuntimeConfig()
+        config.dispatch = "closures"
+        rt = Runtime(config)
+        with pytest.raises(ValueError, match="did you mean 'closure'"):
+            rt.interpreter
+
+    def test_repro_dispatch_env_junk_rejected(self, monkeypatch):
+        # The env knob feeds the config default, so junk is caught by the
+        # same validation with the same suggestion.
+        monkeypatch.setenv("REPRO_DISPATCH", "compield")
+        with pytest.raises(ValueError, match="did you mean 'compiled'"):
+            RuntimeConfig()
+
 
 class TestConfigFingerprint:
     def test_fingerprint_covers_allocator_dispatch_faults(self):

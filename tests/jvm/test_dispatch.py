@@ -1,18 +1,22 @@
-"""Three-way dispatch parity: chain vs table vs closure.
+"""Four-way dispatch parity: chain vs table vs closure vs compiled.
 
-The interpreter ships three dispatch tiers: the original if/elif chain
+The interpreter ships four dispatch tiers: the original if/elif chain
 (``dispatch="chain"``, the reference implementation), the opcode-indexed
-handler table (``"table"``), and the closure-compiled tier (``"closure"``,
-the default) with quickening and superinstruction fusion.  These tests run
-the same programs under all three and require identical results,
-instruction counts, and VM state — and the parity corpus must collectively
-exercise *every* opcode, so a new opcode cannot be added to one tier and
-forgotten in the others.
+handler table (``"table"``), the closure-compiled tier (``"closure"``)
+with quickening and superinstruction fusion, and the compiled tier
+(``"compiled"``, the default) that lowers each method to generated Python
+source and deopts to closure slots at guard failures and quantum tails.
+These tests run the same programs under all four and require identical
+results, instruction counts, and VM state — and the parity corpus must
+collectively exercise *every* opcode, so a new opcode cannot be added to
+one tier and forgotten in the others.
 
 The closure tier gets extra scrutiny: quickening must rewrite slots
 in place without changing observable behaviour, and a fused
 superinstruction must never straddle a scheduler quantum (the budget-split
-logic falls back to the unfused closures at a slice boundary).
+logic falls back to the unfused closures at a slice boundary).  The
+compiled tier gets its own: deopt mid-block, deopt at a quantum boundary,
+and generated-code reuse across invocations must all be invisible.
 """
 
 import pytest
@@ -23,7 +27,7 @@ from repro.jvm import bytecode as bc
 from repro.jvm.errors import VerifyError
 from repro.workloads.base import get_workload
 
-DISPATCHES = ("chain", "table", "closure")
+DISPATCHES = ("chain", "table", "closure", "compiled")
 
 MAIN = "class Main\nmethod Main.main(0)\n"
 
@@ -129,8 +133,9 @@ def assert_parity(source, args, expected, **config_kwargs):
         result, rt = run_one(source, args, dispatch, **config_kwargs)
         assert result == expected, f"{dispatch}: {result} != {expected}"
         snapshots[dispatch] = snapshot(rt)
-    assert snapshots["table"] == snapshots["chain"]
-    assert snapshots["closure"] == snapshots["table"]
+    reference = snapshots[DISPATCHES[0]]
+    for dispatch in DISPATCHES[1:]:
+        assert snapshots[dispatch] == reference, dispatch
 
 
 class TestOpcodeParity:
@@ -271,12 +276,13 @@ class TestSuperinstructions:
         # quantum, closure and table agree bit for bit.
         expected = 200 * (11 + 3)
         snapshots = {}
-        for dispatch in ("table", "closure"):
+        for dispatch in ("table", "closure", "compiled"):
             result, rt = run_one(FUSIBLE_LOOP, [], dispatch,
                                  quantum=quantum)
             assert result == expected
             snapshots[dispatch] = snapshot(rt)
         assert snapshots["closure"] == snapshots["table"]
+        assert snapshots["compiled"] == snapshots["table"]
 
     def test_quantum_split_with_threads(self):
         # Round-robin across a spawned allocator thread: the quantum
@@ -303,12 +309,13 @@ class TestSuperinstructions:
             + "done:\n    load 1\n    retval\n"
         )
         snapshots = {}
-        for dispatch in ("table", "closure"):
+        for dispatch in ("table", "closure", "compiled"):
             result, rt = run_one(source, [], dispatch, quantum=7,
                                  heap_words=4096)
             assert result == 300
             snapshots[dispatch] = snapshot(rt)
         assert snapshots["closure"] == snapshots["table"]
+        assert snapshots["compiled"] == snapshots["table"]
 
 
 class TestWorkloadDifferential:
@@ -332,8 +339,10 @@ class TestWorkloadDifferential:
             )
         assert snapshots["table"] == snapshots["chain"]
         assert snapshots["closure"] == snapshots["table"]
+        assert snapshots["compiled"] == snapshots["table"]
 
-    @pytest.mark.parametrize("name", ["bc-arith", "bc-list", "bc-calls"])
+    @pytest.mark.parametrize(
+        "name", ["bc-arith", "bc-list", "bc-calls", "bc-loop"])
     def test_bytecode_workload_identical(self, name):
         # The bc-* workloads are pure assembled bytecode, so every executed
         # instruction flows through the dispatch loop under test.
@@ -353,3 +362,92 @@ class TestWorkloadDifferential:
             )
         assert snapshots["table"] == snapshots["chain"]
         assert snapshots["closure"] == snapshots["table"]
+        assert snapshots["compiled"] == snapshots["table"]
+
+
+POLY_SOURCE = (
+    # Two unrelated receiver classes at one invokevirtual site: the
+    # compiled tier's monomorphic class guard fails on every other call,
+    # deopting to the closure slots mid-block at the current pc.
+    "class Square\n"
+    + "method Square.area(1)\n    const 4\n    retval\n"
+    + "class Circle\n"
+    + "method Circle.area(1)\n    const 3\n    retval\n"
+    + MAIN
+    + "    new Square\n    store 2\n"
+    + "    new Circle\n    store 3\n"
+    + "    const 0\n    store 0\n"
+    + "    const 0\n    store 1\n"
+    + "loop:\n"
+    + "    load 0\n    const 60\n    if_icmpge done\n"
+    + "    load 0\n    const 2\n    mod\n    ifzero even\n"
+    + "    load 3\n    goto call\n"
+    + "even:\n    load 2\n"
+    + "call:\n    invokevirtual area 1\n"
+    + "    load 1\n    add\n    store 1\n"
+    + "    iinc 0 1\n    goto loop\n"
+    + "done:\n    load 1\n    retval\n"
+)
+
+POLY_EXPECTED = 30 * 4 + 30 * 3
+
+
+class TestCompiledDeopt:
+    """Guard failures and quantum tails must be invisible in the results."""
+
+    def test_polymorphic_guard_deopt_mid_block(self):
+        # The call site alternates Square/Circle, so whichever class the
+        # site quickens to, half the calls fail the guard and finish the
+        # block on the closure tier.  All four tiers still agree exactly.
+        assert_parity(POLY_SOURCE, [], POLY_EXPECTED)
+
+    def test_deopt_site_stays_on_generated_code(self):
+        # A failed guard deopts *that execution*, not the method: the
+        # cached PyCompiledMethod must survive the polymorphic site.
+        result, rt = run_one(POLY_SOURCE, [], "compiled")
+        assert result == POLY_EXPECTED
+        method = rt.program.lookup("Main").methods["main"]
+        assert method in rt.interpreter._pycache
+        comp = rt.interpreter._pycache[method]
+        assert rt.run("Main.main", []) == POLY_EXPECTED
+        assert rt.interpreter._pycache[method] is comp
+
+    @pytest.mark.parametrize("quantum", [1, 2, 3, 7])
+    def test_guard_deopt_at_quantum_boundary(self, quantum):
+        # Tiny quanta force the driver's closure tail at nearly every
+        # block boundary, so deopted instructions and generated-code
+        # instructions interleave within a single slice.  Tick totals and
+        # heap state still match the table tier bit for bit.
+        snapshots = {}
+        for dispatch in ("table", "closure", "compiled"):
+            result, rt = run_one(POLY_SOURCE, [], dispatch, quantum=quantum)
+            assert result == POLY_EXPECTED
+            snapshots[dispatch] = snapshot(rt)
+        assert snapshots["closure"] == snapshots["table"]
+        assert snapshots["compiled"] == snapshots["table"]
+
+    def test_deopt_at_fused_pair_boundary(self):
+        # The deopt target is the *unfused* closure form: landing between
+        # the halves of what the closure tier would fuse must not skid.
+        snapshots = {}
+        for dispatch in ("table", "closure", "compiled"):
+            result, rt = run_one(FUSIBLE_LOOP, [], dispatch, quantum=1)
+            assert result == 200 * (11 + 3)
+            snapshots[dispatch] = snapshot(rt)
+        assert snapshots["closure"] == snapshots["table"]
+        assert snapshots["compiled"] == snapshots["table"]
+
+    def test_codegen_cache_shared_across_runtimes(self):
+        # Identical bytecode in a fresh runtime reuses the cached
+        # generated source and code object; only the quickening-cell
+        # bindings are rebuilt per runtime.
+        result1, rt1 = run_one(POLY_SOURCE, [], "compiled")
+        m1 = rt1.program.lookup("Main").methods["main"]
+        comp1 = rt1.interpreter._pycache[m1]
+        result2, rt2 = run_one(POLY_SOURCE, [], "compiled")
+        m2 = rt2.program.lookup("Main").methods["main"]
+        comp2 = rt2.interpreter._pycache[m2]
+        assert result1 == result2 == POLY_EXPECTED
+        assert comp2.source is comp1.source  # cache hit, not a regen
+        assert comp2.run.__code__ is comp1.run.__code__
+        assert comp2.run is not comp1.run  # bindings are per-runtime

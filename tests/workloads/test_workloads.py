@@ -36,7 +36,7 @@ class TestRegistry:
         assert set(REGISTRY) == {
             "compress", "jess", "raytrace", "db",
             "javac", "mpegaudio", "mtrt", "jack",
-            "bc-arith", "bc-list", "bc-calls",
+            "bc-arith", "bc-list", "bc-calls", "bc-loop",
         }
 
     def test_all_workloads_paper_order(self):

@@ -5,106 +5,67 @@ Chapter 4.2: "These results lead us to believe that our approach would be
 useful in longer-running benchmarks and applications.  Servers and web
 based servlets are examples of such programs that might benefit."
 
-This example models a servlet container: a session cache and route table
-live for the process (static); each request is handled in its own frame,
-allocating a request object, parsed headers, and a response buffer that all
-die when the handler returns.  A few requests write to the session cache
-(escape to static).  We run the same request stream under the CG system and
-the plain traditional collector and compare how often the tracer had to run
-and how much marking it did.
+The servlet container itself now lives in the repo as the first-class
+``server`` workload (``repro.workloads.server``): bytecode request
+handlers, a static session cache with a configurable escape rate,
+connection churn, and seeded arrival schedules.  This example is just a
+thin driver: serve the same request stream under each system with
+profiling armed and compare tail latency — the SLO framing of the
+paper's claim that per-request garbage dies at frame-pop, so CG never
+stops the world mid-request.
 
-Run:  python examples/webserver.py [requests]
+Run:  python examples/webserver.py [--requests N] [--pattern bursty]
+      [--systems cg,jdk]
 """
 
-import sys
+import argparse
 
-from repro import CGPolicy, Mutator, Runtime, RuntimeConfig
-
-
-def define_classes(program):
-    program.define_class("srv/Request", fields=["path", "headers", "body"])
-    program.define_class("srv/Header", fields=["name", "value", "next"])
-    program.define_class("srv/Response", fields=["status", "payload"])
-    program.define_class("srv/Session", fields=["user", "data"])
-    program.define_class("srv/Route", fields=["pattern", "handler"])
-
-
-def handle_request(m, request_id):
-    """One request: everything here dies at the handler's return, except
-    the occasional session object that escapes to the cache."""
-    request = m.new("srv/Request")
-    m.set_local(0, request)
-    # Parse three headers into a chain hanging off the request.
-    prev = None
-    for h in range(3):
-        header = m.new("srv/Header")
-        m.putfield(header, "name", h)
-        if prev is None:
-            m.putfield(request, "headers", header)
-        else:
-            m.putfield(prev, "next", header)
-        prev = m.getfield(request, "headers") if prev is None else m.getfield(prev, "next")
-    # Route lookup: reads the static table (no contamination of the
-    # request thanks to the section 3.4 optimization).
-    routes = m.getstatic("srv.routes")
-    route = m.aaload(routes, request_id % 8)
-    m.putfield(request, "path", request_id)
-    m.tick(40)  # handler business logic
-    response = m.new("srv/Response")
-    m.putfield(response, "status", 200)
-    m.root(response)
-    # Every 50th request logs a session into the cache: genuine escape.
-    if request_id % 50 == 0:
-        session = m.new("srv/Session")
-        m.putfield(session, "user", request_id)
-        cache = m.getstatic("srv.sessions")
-        m.aastore(cache, (request_id // 50) % 64, session)
-
-
-def boot(m):
-    routes = m.new_array(8)
-    m.putstatic("srv.routes", routes)
-    routes = m.getstatic("srv.routes")
-    for i in range(8):
-        route = m.new("srv/Route")
-        m.putfield(route, "pattern", i)
-        m.aastore(routes, i, route)
-    sessions = m.new_array(64)
-    m.putstatic("srv.sessions", sessions)
-
-
-def serve(system_name, policy, requests):
-    rt = Runtime(
-        RuntimeConfig(heap_words=4096, cg=policy, tracing="marksweep")
-    )
-    define_classes(rt.program)
-    m = Mutator(rt)
-    with m.frame(name="srv.main"):
-        boot(m)
-        for r in range(requests):
-            with m.frame(name="srv.handleRequest"):
-                handle_request(m, r)
-    work = rt.tracing.work
-    print(f"{system_name:22s} tracer cycles: {work.cycles:4d}   "
-          f"mark visits: {work.mark_visits:7d}   "
-          f"objects swept: {work.objects_collected:6d}", end="")
-    if rt.collector is not None:
-        print(f"   CG-collected: {rt.collector.stats.objects_popped}")
-    else:
-        print()
-    rt.check_heap_accounting()
-    return rt
+from repro.api import run
 
 
 def main():
-    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
-    print(f"Serving {requests} requests on a 4096-word heap...\n")
-    cg_rt = serve("contaminated GC + MSA", CGPolicy.paper_default(), requests)
-    jdk_rt = serve("traditional MSA only", CGPolicy.disabled(), requests)
-    saved = jdk_rt.tracing.work.cycles - cg_rt.tracing.work.cycles
-    print(f"\nCG eliminated {saved} of {jdk_rt.tracing.work.cycles} "
-          "collection pauses — per-request garbage never survives the "
-          "handler frame, so the heap simply doesn't fill.")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=400,
+                        help="requests to serve per system (default 400)")
+    parser.add_argument("--pattern", default="bursty",
+                        choices=("steady", "bursty", "diurnal"),
+                        help="arrival schedule shape (default bursty)")
+    parser.add_argument("--systems", default="cg,jdk",
+                        help="comma-separated systems (default cg,jdk)")
+    args = parser.parse_args()
+
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    print(f"Serving {args.requests} {args.pattern} requests "
+          f"under {', '.join(systems)}...\n")
+
+    results = []
+    for system in systems:
+        result = run("server", system=system, requests=args.requests,
+                     params={"pattern": args.pattern}, profile=True)
+        results.append(result)
+        lat = result.latency or {}
+        req_ms = lat.get("request_ms") or {}
+        pause_ms = lat.get("pause_ms") or {}
+        gc_cycles = result.gc_work.cycles
+        popped = (result.cg_stats.objects_popped
+                  if result.cg_stats is not None else 0)
+        print(f"{system:12s} p50 {req_ms.get('p50_ms', 0.0):7.3f}ms"
+              f"  p99 {req_ms.get('p99_ms', 0.0):7.3f}ms"
+              f"  p999 {req_ms.get('p999_ms', 0.0):7.3f}ms"
+              f"  max {req_ms.get('max_ms', 0.0):7.3f}ms"
+              f"  | pause p99 {pause_ms.get('p99_ms', 0.0):6.3f}ms"
+              f" ({lat.get('pause_share_pct', 0.0):4.1f}%)"
+              f"  gc cycles {gc_cycles:3d}"
+              f"  CG-popped {popped:5d}")
+
+    if len(results) >= 2 and results[0].system == "cg":
+        cg, other = results[0], results[1]
+        saved = other.gc_work.cycles - cg.gc_work.cycles
+        if saved > 0:
+            print(f"\nCG eliminated {saved} of {other.gc_work.cycles} "
+                  "collection pauses — per-request garbage never survives "
+                  "the handler frame, so the heap simply doesn't fill "
+                  "mid-request.")
 
 
 if __name__ == "__main__":

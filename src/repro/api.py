@@ -50,7 +50,7 @@ from .gc.base import GCWork
 from .jvm.runtime import Runtime, RuntimeConfig
 from .obs.events import get_active_tracer
 from .obs.metrics import collect_runtime_metrics
-from .workloads.base import Workload, get_workload
+from .workloads.base import REGISTRY, Workload, get_workload
 
 #: Ample heap used by the *-nogc isolation systems.
 BIG_HEAP_WORDS = 1 << 22
@@ -146,6 +146,13 @@ class RunResult:
     #: counters/gauges/histograms covering CG stats, heap occupancy,
     #: allocator work, tracing-GC work, and (when enabled) phase timings.
     metrics: Dict[str, Dict] = field(default_factory=dict)
+    #: The workload's fully resolved parameter bindings (empty for the
+    #: schema-less batch workloads).
+    params: Dict = field(default_factory=dict)
+    #: Per-request latency attribution from
+    #: :meth:`~repro.obs.profile.PhaseProfiler.request_summary` — present
+    #: only for profiled runs of request-structured workloads.
+    latency: Dict = field(default_factory=dict)
 
     # --- derived metrics used across figures -----------------------------
 
@@ -214,6 +221,8 @@ def result_to_dict(result: RunResult) -> Dict:
         "peak_live_words": result.peak_live_words,
         "heap_words": result.heap_words,
         "metrics": result.metrics,
+        "params": dict(result.params),
+        "latency": result.latency,
     }
 
 
@@ -244,12 +253,36 @@ def result_from_dict(data: Dict) -> RunResult:
         peak_live_words=data["peak_live_words"],
         heap_words=data["heap_words"],
         metrics=data.get("metrics", {}),
+        params=dict(data.get("params") or {}),
+        latency=data.get("latency") or {},
     )
 
 
 # ---------------------------------------------------------------------------
 # The facade
 # ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload named together with its parameter bindings.
+
+    The parameter-carrying replacement for bare name+size pairs: a
+    ``RunRequest.workload`` may be a plain name (historical), a live
+    :class:`~repro.workloads.base.Workload` instance (process-local), or
+    one of these — which, unlike an instance, serializes through
+    :func:`request_to_dict` and participates in cache keys.
+    """
+
+    name: str
+    params: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WorkloadSpec":
+        return cls(name=data["name"], params=dict(data.get("params") or {}))
+
 
 @dataclass
 class RunRequest:
@@ -260,10 +293,18 @@ class RunRequest:
     built by :func:`config_for` from ``system``/``heap_words``/
     ``gc_period_ops``.  ``faults`` attaches a :class:`repro.faults.FaultPlan`
     either way.
+
+    **Termination policy.**  Batch workloads take the SPEC ``size`` knob
+    (defaulting to 1, exactly as before).  Open-ended workloads
+    (``Workload.open_ended``) are terminated by ``requests=`` (requests
+    served) and optionally capped by ``max_ops=``; passing ``size=`` to
+    one instead routes through the workload's ``requests_for_size`` shim,
+    so historical ``size=`` call sites keep working bit-identically.
+    Passing ``requests=``/``max_ops=`` to a batch workload is an error.
     """
 
-    workload: Union[str, Workload]
-    size: int = 1
+    workload: Union[str, Workload, WorkloadSpec]
+    size: Optional[int] = None
     system: str = "cg"
     heap_words: Optional[int] = None
     gc_period_ops: Optional[int] = None
@@ -281,6 +322,59 @@ class RunRequest:
     heartbeat_spool: Optional[str] = None
     faults: Optional[FaultPlan] = None
     config: Optional[RuntimeConfig] = None
+    #: Termination policy for open-ended workloads: stop after serving
+    #: this many requests (merged into the workload's params).
+    requests: Optional[int] = None
+    #: Optional op-budget cap for open-ended workloads.
+    max_ops: Optional[int] = None
+    #: Extra workload parameter bindings, merged over the
+    #: :class:`WorkloadSpec` ones (the wire-friendly way to parameterize
+    #: a plain string ``workload``).
+    params: Optional[Dict] = None
+
+    def resolve_workload(self) -> Workload:
+        """Instantiate the workload with its merged, validated params."""
+        if isinstance(self.workload, Workload):
+            if (self.params or self.requests is not None
+                    or self.max_ops is not None):
+                raise ValueError(
+                    "params/requests/max_ops do not apply to a live "
+                    "Workload instance; bind them at construction instead"
+                )
+            return self.workload
+        if isinstance(self.workload, WorkloadSpec):
+            name, merged = self.workload.name, dict(self.workload.params)
+        else:
+            name, merged = self.workload, {}
+        merged.update(self.params or {})
+        cls = REGISTRY.get(name)
+        open_ended = cls is not None and cls.open_ended
+        if not open_ended and (self.requests is not None
+                               or self.max_ops is not None):
+            raise ValueError(
+                f"workload {name!r} is a batch workload sized by size=; "
+                f"requests=/max_ops= apply only to open-ended workloads"
+            )
+        if open_ended and self.size is not None:
+            if self.requests is not None or "requests" in merged:
+                raise ValueError(
+                    "pass size= or requests=, not both"
+                )
+            # Legacy shim: a size knob on an open-ended workload maps to
+            # its equivalent request count, bit-identically.
+            merged["requests"] = cls.requests_for_size(self.size)
+        if self.requests is not None:
+            merged["requests"] = self.requests
+        if self.max_ops is not None:
+            merged["max_ops"] = self.max_ops
+        return get_workload(name, self.seed, params=merged)
+
+    def size_label(self, wl: Workload) -> int:
+        """The ``RunResult.size`` label: the historical knob for batch
+        workloads (default 1), 0 for open-ended runs without one."""
+        if self.size is not None:
+            return self.size
+        return 0 if wl.open_ended else 1
 
     def build(self) -> "tuple[Workload, RuntimeConfig, int]":
         """Resolve (workload, config, requested heap words).
@@ -289,14 +383,13 @@ class RunRequest:
         ``RunResult.heap_words`` label, which the nogc systems' config may
         override internally with :data:`BIG_HEAP_WORDS`.
         """
-        wl = (get_workload(self.workload, self.seed)
-              if isinstance(self.workload, str) else self.workload)
+        wl = self.resolve_workload()
         if self.config is not None:
             config = self.config
             heap = config.heap_words
         else:
             heap = (self.heap_words if self.heap_words is not None
-                    else wl.heap_words(self.size))
+                    else wl.heap_words(self.size_label(wl)))
             config = config_for(self.system, heap, self.gc_period_ops)
         if self.tracer is not None:
             config.tracer = self.tracer
@@ -312,7 +405,7 @@ class RunRequest:
             # Stamp the cell identity on every snapshot so the fleet view
             # can name runs without guessing.
             config.heartbeat_labels = {
-                "workload": wl.name, "size": self.size,
+                "workload": wl.name, "size": self.size_label(wl),
                 "system": self.system,
             }
         if self.faults is not None:
@@ -326,6 +419,7 @@ class RunRequest:
 _REQUEST_FIELDS = (
     "workload", "size", "system", "heap_words", "gc_period_ops", "seed",
     "profile", "count_opcodes", "heartbeat_every", "heartbeat_spool",
+    "requests", "max_ops", "params",
 )
 
 
@@ -343,10 +437,12 @@ def request_to_dict(request: RunRequest) -> Dict:
     if request.config is not None:
         raise ValueError("a RunRequest with a prebuilt config cannot be "
                          "serialized; pass system/heap_words instead")
-    if not isinstance(request.workload, str):
+    if not isinstance(request.workload, (str, WorkloadSpec)):
         raise ValueError("only named workloads serialize; got a "
                          f"{type(request.workload).__name__} instance")
     data = {name: getattr(request, name) for name in _REQUEST_FIELDS}
+    if isinstance(request.workload, WorkloadSpec):
+        data["workload"] = request.workload.to_dict()
     data["faults"] = (request.faults.to_dict()
                       if request.faults is not None else None)
     return data
@@ -355,6 +451,8 @@ def request_to_dict(request: RunRequest) -> Dict:
 def request_from_dict(data: Dict) -> RunRequest:
     """Rebuild a :class:`RunRequest` from :func:`request_to_dict` output."""
     kwargs = {name: data[name] for name in _REQUEST_FIELDS if name in data}
+    if isinstance(kwargs.get("workload"), dict):
+        kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
     faults = data.get("faults")
     if faults is not None:
         faults = (faults if isinstance(faults, FaultPlan)
@@ -368,10 +466,11 @@ def execute(request: RunRequest) -> RunResult:
     from .harness.costmodel import cost_of
 
     wl, config, heap = request.build()
+    size = request.size_label(wl)
     runtime = Runtime(config)
     started = time.perf_counter()
     try:
-        wl.execute(runtime, request.size)
+        wl.execute(runtime, size)
     finally:
         # Even a run shorter than one heartbeat period (or one that dies
         # mid-flight) leaves a terminal snapshot on the spool, so the
@@ -401,9 +500,12 @@ def execute(request: RunRequest) -> RunResult:
 
     registry = collect_runtime_metrics(runtime)
     snapshot = registry.snapshot()
+    profiler = runtime.profiler
+    latency = ((profiler.request_summary() or {})
+               if profiler.enabled else {})
     return RunResult(
         workload=wl.name,
-        size=request.size,
+        size=size,
         system=request.system,
         objects_created=objects_created,
         census=census,
@@ -416,12 +518,14 @@ def execute(request: RunRequest) -> RunResult:
         peak_live_words=int(snapshot["heap.peak_live_words"]),
         heap_words=heap,
         metrics=registry.to_dict(),
+        params=dict(wl.params),
+        latency=latency,
     )
 
 
 def run(
-    workload: Union[str, Workload],
-    size: int = 1,
+    workload: Union[str, Workload, WorkloadSpec],
+    size: Optional[int] = None,
     system: str = "cg",
     *,
     heap_words: Optional[int] = None,
@@ -434,24 +538,33 @@ def run(
     heartbeat_spool: Optional[str] = None,
     faults: Optional[FaultPlan] = None,
     config: Optional[RuntimeConfig] = None,
+    requests: Optional[int] = None,
+    max_ops: Optional[int] = None,
+    params: Optional[Dict] = None,
 ) -> RunResult:
     """Execute one cell; the public entry point for everything.
 
-    ``tracer`` installs an event sink for the run; when omitted, the
-    ambient tracer from :func:`repro.obs.tracing_to` (if any) is used.
-    ``profile`` turns on the perf_counter phase timers.
-    ``heartbeat_every`` spools a live snapshot every N ops for
-    ``python -m repro inspect``.  ``faults`` arms a deterministic
-    :class:`~repro.faults.FaultPlan`.  Passing ``config`` bypasses
-    :func:`config_for` entirely (``system`` is then just the label
-    recorded on the result).
+    ``size`` is the batch termination knob (default 1 for batch
+    workloads); ``requests``/``max_ops`` terminate open-ended workloads
+    (requests served / op budget), and ``params`` binds further
+    schema-validated workload parameters — or pass a
+    :class:`WorkloadSpec` carrying them.  ``tracer`` installs an event
+    sink for the run; when omitted, the ambient tracer from
+    :func:`repro.obs.tracing_to` (if any) is used.  ``profile`` turns on
+    the perf_counter phase timers (and per-request latency attribution
+    for request-structured workloads).  ``heartbeat_every`` spools a live
+    snapshot every N ops for ``python -m repro inspect``.  ``faults``
+    arms a deterministic :class:`~repro.faults.FaultPlan`.  Passing
+    ``config`` bypasses :func:`config_for` entirely (``system`` is then
+    just the label recorded on the result).
     """
     return execute(RunRequest(
         workload=workload, size=size, system=system, heap_words=heap_words,
         gc_period_ops=gc_period_ops, seed=seed, tracer=tracer,
         profile=profile, count_opcodes=count_opcodes,
         heartbeat_every=heartbeat_every, heartbeat_spool=heartbeat_spool,
-        faults=faults, config=config,
+        faults=faults, config=config, requests=requests, max_ops=max_ops,
+        params=params,
     ))
 
 

@@ -91,6 +91,7 @@ class ContaminatedCollector:
             self.on_store = self._timed(self.on_store, PHASE_CG_EVENTS)
             self.on_areturn = self._timed(self.on_areturn, PHASE_CG_EVENTS)
             self.on_putstatic = self._timed(self.on_putstatic, PHASE_CG_EVENTS)
+            self.on_frame_pop = self._timed(self.on_frame_pop, PHASE_CG_EVENTS)
             self.take_recycled = self._timed(self.take_recycled, PHASE_RECYCLE)
 
     def set_tracer(self, tracer) -> None:

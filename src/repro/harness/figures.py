@@ -40,7 +40,7 @@ _QUARANTINE: Dict[Tuple, FaultReport] = {}
 
 #: Bump when run semantics change in a way that invalidates stored results.
 #: v2: keys grew the RuntimeConfig fingerprint (allocator/dispatch/faults).
-_CACHE_VERSION = 2
+_CACHE_VERSION = 3
 
 #: Disk cache directory (None disables).  Seeded from the environment so
 #: subprocesses and CI jobs can opt in without CLI plumbing.
@@ -99,7 +99,8 @@ def cell_key(workload: str, size: int, system: str,
              gc_period_ops: Optional[int] = None,
              heap_words: Optional[int] = None,
              plan: Optional[FaultPlan] = None,
-             count_opcodes: Optional[bool] = None) -> Tuple:
+             count_opcodes: Optional[bool] = None,
+             params: Optional[Dict] = None) -> Tuple:
     """The cache key for one grid cell.
 
     Includes the full :meth:`RuntimeConfig.fingerprint` of the config the
@@ -109,12 +110,16 @@ def cell_key(workload: str, size: int, system: str,
     deliberately excludes ``heap_words``, which is its own key axis.
     ``count_opcodes`` defaults to the module's ambient flag; the serve
     path passes it explicitly (per-request, no ambient state).
+    ``params`` is the workload parameter dict (WorkloadSpec axis): it is
+    keyed as canonical sorted JSON so ``{}``/``None`` and key order
+    cannot split cache entries.
     """
     config = config_for(system, heap_words or (1 << 20), gc_period_ops)
     config.faults = plan
     flag = _COUNT_OPCODES if count_opcodes is None else bool(count_opcodes)
     return (workload, size, system, gc_period_ops, heap_words,
-            config.fingerprint(), flag)
+            config.fingerprint(), flag,
+            json.dumps(params or {}, sort_keys=True))
 
 
 def _cache_file(key: Tuple) -> Optional[Path]:
@@ -562,6 +567,7 @@ def _request_for(key: Tuple) -> Dict:
         "gc_period_ops": gc_period_ops,
         "heap_words": heap_words,
         "count_opcodes": bool(key[6]) if len(key) > 6 else False,
+        "params": json.loads(key[7]) if len(key) > 7 else None,
         "heartbeat_every": _HEARTBEAT_EVERY,
         "heartbeat_spool": _HEARTBEAT_SPOOL,
         "faults": plan.to_dict() if plan is not None else None,

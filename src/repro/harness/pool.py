@@ -80,8 +80,9 @@ from ..faults import FaultPlan, FaultReport
 #: Bump when run semantics change in a way that invalidates stored
 #: results.  v2: keys grew the RuntimeConfig fingerprint (this is the
 #: same versioning — and the same on-disk files — as the figure cache
-#: this class was promoted from).
-CACHE_VERSION = 2
+#: this class was promoted from).  v3: keys grew the workload-params
+#: axis (WorkloadSpec) and results the ``params``/``latency`` sections.
+CACHE_VERSION = 3
 
 #: Retry backoff base (seconds); attempt N becomes eligible again after
 #: ``base * 2**(N-1)``, capped at 2s.

@@ -69,14 +69,24 @@ def request_key(request: Dict):
 
     plan = (FaultPlan.from_dict(request["faults"])
             if request.get("faults") else None)
+    workload = request.get("workload", "?")
+    params = dict(request.get("params") or {})
+    if isinstance(workload, dict):  # a WorkloadSpec wire form
+        params = {**(workload.get("params") or {}), **params}
+        workload = workload.get("name", "?")
+    if request.get("requests") is not None:
+        params["requests"] = request["requests"]
+    if request.get("max_ops") is not None:
+        params["max_ops"] = request["max_ops"]
     return cell_key(
-        request.get("workload", "?"),
+        workload,
         request.get("size", 1),
         request.get("system", "cg"),
         request.get("gc_period_ops"),
         request.get("heap_words"),
         plan=plan,
         count_opcodes=request.get("count_opcodes", False),
+        params=params or None,
     )
 
 

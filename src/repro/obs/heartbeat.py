@@ -50,7 +50,10 @@ from typing import Dict, List, Optional
 #: Version tag carried by every snapshot (heartbeat *and* crash dump).
 #: v2 added the ``latency`` section: per-phase p50/p99/max timing
 #: percentiles from the phase profiler (None when profiling is off).
-SNAPSHOT_SCHEMA = "cg-snapshot/2"
+#: v3 added the ``requests`` section: per-request latency/pause
+#: attribution from request-structured workloads (None when the run is
+#: unprofiled or the workload never brackets requests).
+SNAPSHOT_SCHEMA = "cg-snapshot/3"
 
 #: Snapshots retained per run file (a ring: older beats roll off).
 DEFAULT_RING = 16
@@ -123,6 +126,10 @@ def runtime_snapshot(runtime) -> Dict:
     profiler = getattr(runtime, "profiler", None)
     data["latency"] = (
         profiler.latency_summary()
+        if profiler is not None and profiler.enabled else None
+    )
+    data["requests"] = (
+        profiler.request_summary()
         if profiler is not None and profiler.enabled else None
     )
     return data

@@ -212,6 +212,19 @@ def render_snapshot(snapshot: Dict, path: Optional[Path] = None) -> str:
     if fault_stats:
         folded = ", ".join(f"{k}={v}" for k, v in sorted(fault_stats.items()))
         lines.append(f"  faults: {folded}")
+    requests = snapshot.get("requests") or {}
+    if requests:
+        req_ms = requests.get("request_ms") or {}
+        pause_ms = requests.get("pause_ms") or {}
+        lines.append(
+            f"  requests: {requests.get('requests', 0)} served"
+            f" — p50 {req_ms.get('p50_ms', 0.0):.3f}ms"
+            f" p99 {req_ms.get('p99_ms', 0.0):.3f}ms"
+            f" p999 {req_ms.get('p999_ms', 0.0):.3f}ms"
+            f" max {req_ms.get('max_ms', 0.0):.3f}ms"
+            f" · pause p99 {pause_ms.get('p99_ms', 0.0):.3f}ms"
+            f" ({requests.get('pause_share_pct', 0.0):.1f}% of request time)"
+        )
     latency = snapshot.get("latency") or {}
     for phase, dist in sorted(latency.items()):
         lines.append(

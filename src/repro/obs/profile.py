@@ -25,10 +25,11 @@ costs a branch, not a clock read.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import defaultdict, deque
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Optional
 
 #: Per-phase sample window for the latency distribution (a bounded deque:
 #: percentiles reflect the most recent samples, memory stays O(1)).
@@ -50,6 +51,34 @@ PHASE_COMPILE = "compile"
 #: vs "codegen" — the bench harness's ``compile_ms`` column is the sum.
 PHASE_CODEGEN = "codegen"
 
+#: Phases that count as *collector pause time* for per-request
+#: attribution: the tracing collector (allocation-failure or periodic
+#: MSA), CG's event handlers, and the recycle-list search.  Interpreter
+#: and one-time compile/codegen phases are mutator/warmup time.
+PAUSE_PHASES = frozenset({PHASE_MSA, PHASE_CG_EVENTS, PHASE_RECYCLE})
+
+#: Pause-histogram bucket upper bounds in milliseconds (log-ish scale);
+#: a sample lands in the first bucket whose bound is >= its duration,
+#: and anything beyond the last bound lands in the overflow bucket, so
+#: ``counts`` always has ``len(PAUSE_BUCKETS_MS) + 1`` entries.
+PAUSE_BUCKETS_MS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+                    50.0, 100.0)
+
+
+def _nearest_rank(window: List[float]) -> Dict[str, float]:
+    """p50/p99/p999/max (milliseconds) of an already-sorted sample list."""
+    n = len(window)
+
+    def rank(q: float) -> float:
+        return window[min(n - 1, max(0, int(q * n + 0.5) - 1))]
+
+    return {
+        "p50_ms": rank(0.50) * 1000.0,
+        "p99_ms": rank(0.99) * 1000.0,
+        "p999_ms": rank(0.999) * 1000.0,
+        "max_ms": window[-1] * 1000.0,
+    }
+
 
 class PhaseProfiler:
     """Accumulates seconds per named phase and per stack depth."""
@@ -66,11 +95,48 @@ class PhaseProfiler:
         self.samples: Dict[str, deque] = defaultdict(
             lambda: deque(maxlen=SAMPLE_WINDOW)
         )
+        #: Full per-request samples (seconds): total window time and the
+        #: pause-phase time that landed inside it.  Unbounded on purpose —
+        #: p999 over a server run needs every request, not a window.
+        self.request_totals: List[float] = []
+        self.request_pauses: List[float] = []
+        #: Histogram of *every* pause-phase sample (inside a request
+        #: window or not), bucketed per :data:`PAUSE_BUCKETS_MS`.
+        self.pause_hist: List[int] = [0] * (len(PAUSE_BUCKETS_MS) + 1)
+        self._request_started: Optional[float] = None
+        self._request_pause = 0.0
 
     def add(self, phase: str, seconds: float) -> None:
         self.seconds[phase] += seconds
         self.calls[phase] += 1
         self.samples[phase].append(seconds)
+        if phase in PAUSE_PHASES:
+            self.pause_hist[
+                bisect_left(PAUSE_BUCKETS_MS, seconds * 1000.0)
+            ] += 1
+            if self._request_started is not None:
+                self._request_pause += seconds
+
+    # ------------------------------------------------------------------
+    # Per-request attribution
+    # ------------------------------------------------------------------
+
+    def request_begin(self) -> None:
+        """Open a request window: pause-phase time now accrues to it."""
+        self._request_pause = 0.0
+        self._request_started = perf_counter()
+
+    def request_end(self) -> None:
+        """Close the window and record (total, pause) for this request."""
+        started = self._request_started
+        if started is None:
+            return
+        self._request_started = None
+        self._note_request(perf_counter() - started, self._request_pause)
+
+    def _note_request(self, total_s: float, pause_s: float) -> None:
+        self.request_totals.append(total_s)
+        self.request_pauses.append(pause_s)
 
     def charge_depth(self, depth: int, seconds: float) -> None:
         self.depth_seconds[depth] += seconds
@@ -108,19 +174,42 @@ class PhaseProfiler:
             window = sorted(self.samples[phase])
             if not window:
                 continue
-            n = len(window)
-
-            def rank(q: float) -> float:
-                return window[min(n - 1, max(0, int(q * n + 0.5) - 1))]
-
-            summary[phase] = {
-                "p50_ms": rank(0.50) * 1000.0,
-                "p99_ms": rank(0.99) * 1000.0,
-                "max_ms": window[-1] * 1000.0,
-                "samples": self.calls[phase],
-                "window": n,
-            }
+            entry = _nearest_rank(window)
+            entry["samples"] = self.calls[phase]
+            entry["window"] = len(window)
+            summary[phase] = entry
         return summary
+
+    def request_summary(self) -> Optional[Dict]:
+        """Per-request latency attribution, or None before any request.
+
+        Splits each request's wall time into mutator work and collector
+        pause time (the :data:`PAUSE_PHASES` samples that landed inside
+        the window) and reports nearest-rank p50/p99/p999/max over the
+        *full* run — unlike :meth:`latency_summary`, no sliding window,
+        because a server's tail is precisely the samples a window would
+        age out.  ``pause_hist`` buckets every pause-phase sample (in- or
+        out-of-request) per :data:`PAUSE_BUCKETS_MS` plus one overflow
+        slot.
+        """
+        totals = self.request_totals
+        if not totals:
+            return None
+        pauses = self.request_pauses
+        total_s = sum(totals)
+        pause_s = sum(pauses)
+        mutator = [max(0.0, t - p) for t, p in zip(totals, pauses)]
+        return {
+            "requests": len(totals),
+            "request_ms": _nearest_rank(sorted(totals)),
+            "pause_ms": _nearest_rank(sorted(pauses)),
+            "mutator_ms": _nearest_rank(sorted(mutator)),
+            "pause_share_pct": (100.0 * pause_s / total_s) if total_s else 0.0,
+            "pause_hist": {
+                "le_ms": list(PAUSE_BUCKETS_MS),
+                "counts": list(self.pause_hist),
+            },
+        }
 
     def to_dict(self) -> Dict[str, Dict]:
         return {
@@ -163,12 +252,24 @@ class NullProfiler:
     calls: Dict[str, int] = {}
     depth_seconds: Dict[int, float] = {}
     samples: Dict[str, deque] = {}
+    request_totals: List[float] = []
+    request_pauses: List[float] = []
+    pause_hist: List[int] = []
 
     def add(self, phase: str, seconds: float) -> None:  # pragma: no cover
         pass
 
     def charge_depth(self, depth: int, seconds: float) -> None:  # pragma: no cover
         pass
+
+    def request_begin(self) -> None:
+        pass
+
+    def request_end(self) -> None:
+        pass
+
+    def request_summary(self) -> Optional[Dict]:
+        return None
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:

@@ -9,11 +9,13 @@ from . import (  # noqa: F401
     jess,
     mpegaudio,
     raytrace,
+    server,
 )
 from .base import (
     REGISTRY,
     SIZE_NAMES,
     SIZES,
+    Param,
     Workload,
     all_workloads,
     get_workload,
@@ -25,6 +27,7 @@ __all__ = [
     "REGISTRY",
     "SIZES",
     "SIZE_NAMES",
+    "Param",
     "Workload",
     "all_workloads",
     "get_workload",

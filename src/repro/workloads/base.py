@@ -18,15 +18,79 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Type
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Type
 
+from ..faults import did_you_mean
 from ..jvm.model import Program
 from ..jvm.mutator import Mutator
 from ..jvm.runtime import Runtime
 
-#: SPEC's size knob.
+#: SPEC's size knob — the *batch* workloads' special case.  Open-ended
+#: workloads (``open_ended = True``) are terminated by their own schema
+#: parameters (``requests``/``max_ops``) instead.
 SIZES = (1, 10, 100)
 SIZE_NAMES = {1: "small", 10: "medium", 100: "large"}
+
+
+@dataclass(frozen=True)
+class Param:
+    """One entry in a workload's parameter schema.
+
+    ``choices`` makes it an enumerated string parameter (arrival
+    patterns); otherwise it is an integer with optional bounds.  The
+    default itself is validated at registration time, so a schema can
+    never ship an unusable default.
+    """
+
+    default: object
+    doc: str = ""
+    choices: Optional[Tuple[str, ...]] = None
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+
+    def validate(self, workload: str, name: str, value: object) -> object:
+        if self.choices is not None:
+            if value not in self.choices:
+                raise ValueError(
+                    f"workload {workload!r}: invalid {name}={value!r}"
+                    f"{did_you_mean(str(value), self.choices)}; "
+                    f"choices: {self.choices}"
+                )
+            return value
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"workload {workload!r}: {name} must be an int, "
+                f"got {value!r}"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ValueError(
+                f"workload {workload!r}: {name} must be >= {self.minimum}, "
+                f"got {value}"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise ValueError(
+                f"workload {workload!r}: {name} must be <= {self.maximum}, "
+                f"got {value}"
+            )
+        return value
+
+
+def resolve_params(cls: "Type[Workload]",
+                   params: Optional[Dict] = None) -> Dict[str, object]:
+    """Merge ``params`` over ``cls.param_schema`` defaults, validating."""
+    schema = cls.param_schema
+    resolved = {name: spec.default for name, spec in schema.items()}
+    for name, value in (params or {}).items():
+        if name not in schema:
+            known = (f"; known: {sorted(schema)}" if schema
+                     else " (it takes no parameters)")
+            raise ValueError(
+                f"workload {cls.name!r} has no parameter {name!r}"
+                f"{did_you_mean(name, tuple(schema))}{known}"
+            )
+        resolved[name] = schema[name].validate(cls.name, name, value)
+    return resolved
 
 
 class Workload(ABC):
@@ -38,9 +102,17 @@ class Workload(ABC):
     description: str = "?"
     #: The paper's "lines of source" figure, for the Fig. 4.1 table.
     source_lines: str = "N/A"
+    #: Parameter schema (name -> :class:`Param`), installed by
+    #: ``@register(params={...})``; empty for the batch workloads.
+    param_schema: Dict[str, Param] = {}
+    #: Open-ended workloads run until a schema-defined termination
+    #: condition (requests served, op budget), not a SIZES knob.
+    open_ended: bool = False
 
-    def __init__(self, seed: int = 2000) -> None:
+    def __init__(self, seed: int = 2000,
+                 params: Optional[Dict] = None) -> None:
         self.seed = seed
+        self.params = resolve_params(type(self), params)
 
     # ------------------------------------------------------------------
 
@@ -69,6 +141,14 @@ class Workload(ABC):
         with mutator.frame(name=f"{self.name}.main"):
             self.run(mutator, size, rng)
 
+    @classmethod
+    def requests_for_size(cls, size: int) -> int:
+        """Legacy ``size=`` shim for open-ended workloads: map a SIZES
+        knob to an equivalent request count (bit-identical runs)."""
+        raise NotImplementedError(
+            f"workload {cls.name!r} has no size->requests mapping"
+        )
+
     def __repr__(self) -> str:
         return f"<Workload {self.name}>"
 
@@ -76,21 +156,47 @@ class Workload(ABC):
 REGISTRY: Dict[str, Type[Workload]] = {}
 
 
-def register(cls: Type[Workload]) -> Type[Workload]:
-    """Class decorator: add a workload to the global registry."""
-    if cls.name in REGISTRY:
-        raise ValueError(f"duplicate workload {cls.name!r}")
-    REGISTRY[cls.name] = cls
-    return cls
+def register(cls: Optional[Type[Workload]] = None, *,
+             params: Optional[Dict[str, Param]] = None):
+    """Class decorator: add a workload to the global registry.
+
+    ``@register`` is the historical bare form; ``@register(params={...})``
+    additionally installs a parameter schema (each value a :class:`Param`)
+    whose defaults are validated here, at import time.
+    """
+
+    def _add(klass: Type[Workload]) -> Type[Workload]:
+        schema = dict(params) if params is not None else dict(
+            klass.param_schema or {}
+        )
+        for pname, spec in schema.items():
+            if not isinstance(spec, Param):
+                raise TypeError(
+                    f"workload {klass.name!r}: schema entry {pname!r} "
+                    f"must be a Param, got {type(spec).__name__}"
+                )
+            spec.validate(klass.name, pname, spec.default)
+        klass.param_schema = schema
+        if klass.name in REGISTRY:
+            raise ValueError(f"duplicate workload {klass.name!r}")
+        REGISTRY[klass.name] = klass
+        return klass
+
+    if cls is not None:
+        return _add(cls)
+    return _add
 
 
-def get_workload(name: str, seed: int = 2000) -> Workload:
+def get_workload(name: str, seed: int = 2000,
+                 params: Optional[Dict] = None) -> Workload:
     try:
-        return REGISTRY[name](seed=seed)
+        cls = REGISTRY[name]
     except KeyError:
         raise KeyError(
-            f"unknown workload {name!r}; known: {sorted(REGISTRY)}"
+            f"unknown workload {name!r}{did_you_mean(name, tuple(REGISTRY))}"
+            f"; known: {sorted(REGISTRY)}"
         ) from None
+    return cls(seed=seed, params=params)
 
 
 def all_workloads(seed: int = 2000) -> List[Workload]:

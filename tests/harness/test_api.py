@@ -4,7 +4,7 @@ import pytest
 
 import repro
 from repro import api
-from repro.api import RunRequest, RunResult, config_for, run
+from repro.api import RunRequest, RunResult, WorkloadSpec, config_for, run
 from repro.faults import FaultPlan
 from repro.harness import figures as figures_mod
 from repro.jvm.runtime import RuntimeConfig
@@ -71,6 +71,94 @@ class TestRequestSerialization:
 
         with pytest.raises(ValueError, match="named workloads"):
             api.request_to_dict(RunRequest(get_workload("db"), 1, "cg"))
+
+
+class TestWorkloadSpec:
+    def test_spec_round_trips_through_wire_form(self):
+        original = RunRequest(
+            WorkloadSpec("server", {"pattern": "bursty"}),
+            system="cg", requests=25, profile=True,
+        )
+        data = api.request_to_dict(original)
+        assert data["workload"] == {"name": "server",
+                                    "params": {"pattern": "bursty"}}
+        restored = api.request_from_dict(data)
+        assert isinstance(restored.workload, WorkloadSpec)
+        assert restored.workload == original.workload
+        assert restored.requests == 25
+
+    def test_spec_and_equivalent_params_run_identically(self):
+        via_spec = api.execute(RunRequest(
+            WorkloadSpec("server", {"pattern": "bursty"}),
+            system="cg", requests=50))
+        via_params = api.execute(RunRequest(
+            "server", system="cg", requests=50,
+            params={"pattern": "bursty"}))
+        assert via_spec.ops == via_params.ops
+        assert via_spec.cg_stats == via_params.cg_stats
+        assert via_spec.params == via_params.params
+
+    def test_request_params_override_spec_params(self):
+        request = RunRequest(WorkloadSpec("server", {"spin": 10}),
+                             requests=5, params={"spin": 20})
+        assert request.resolve_workload().params["spin"] == 20
+
+    def test_result_carries_resolved_params(self):
+        result = api.execute(RunRequest("server", system="cg", requests=25))
+        assert result.params["requests"] == 25
+        assert result.params["pattern"] == "steady"  # schema default
+        restored = api.result_from_dict(api.result_to_dict(result))
+        assert restored.params == result.params
+        assert restored.latency == result.latency
+
+
+class TestTerminationPolicy:
+    def test_requests_on_batch_workload_rejected(self):
+        with pytest.raises(ValueError, match="batch workload"):
+            RunRequest("db", system="cg", requests=100).resolve_workload()
+
+    def test_max_ops_on_batch_workload_rejected(self):
+        with pytest.raises(ValueError, match="batch workload"):
+            RunRequest("db", system="cg", max_ops=100).resolve_workload()
+
+    def test_size_and_requests_together_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            RunRequest("server", size=1, requests=100).resolve_workload()
+
+    def test_params_on_live_workload_instance_rejected(self):
+        from repro.workloads import get_workload
+
+        with pytest.raises(ValueError, match="live Workload instance"):
+            RunRequest(get_workload("db"), requests=5).resolve_workload()
+
+    def test_batch_size_still_defaults_to_one(self):
+        assert run("db").size == 1
+
+    def test_open_ended_size_label_is_zero(self):
+        assert run("server", system="cg", requests=25).size == 0
+
+
+class TestCacheVersioning:
+    def test_cache_version_bumped_for_params_axis(self):
+        from repro.harness.pool import CACHE_VERSION
+
+        assert figures_mod._CACHE_VERSION == 3
+        assert CACHE_VERSION == 3
+
+    def test_cell_key_carries_params_axis(self):
+        bare = figures_mod.cell_key("server", 0, "cg")
+        with_params = figures_mod.cell_key(
+            "server", 0, "cg", params={"pattern": "bursty"})
+        assert bare != with_params
+        # Param order must not split the cache.
+        assert with_params == figures_mod.cell_key(
+            "server", 0, "cg", params={"pattern": "bursty"})
+
+    def test_request_for_round_trips_params(self):
+        key = figures_mod.cell_key("server", 0, "cg",
+                                   params={"requests": 25})
+        request = figures_mod._request_for(key)
+        assert request["params"] == {"requests": 25}
 
 
 class TestRunMany:

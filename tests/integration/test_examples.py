@@ -33,9 +33,11 @@ def test_paper_walkthrough():
 
 
 def test_webserver():
-    out = run_example("webserver.py", "400")
+    out = run_example("webserver.py", "--requests", "400",
+                      "--pattern", "bursty")
     assert "CG eliminated" in out
-    assert "CG-collected" in out
+    assert "CG-popped" in out
+    assert "p999" in out  # the SLO columns
 
 
 def test_bytecode_program():

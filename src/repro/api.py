@@ -28,6 +28,9 @@ A *system* is one of the named configurations the paper compares:
 ``cg-closure``  CG + mark-sweep with the closure dispatch tier pinned
                 (``dispatch="closure"``) — the ladder's middle rung and
                 the compiled tier's deopt target
+``cg-compiled`` CG + mark-sweep with the compiled dispatch tier pinned
+                (``dispatch="compiled"``: everything codegenned up
+                front) — the tiered default's warmup-cost baseline
 ``jdk``         the unmodified base system: mark-sweep only
 ``cg-nogc``     CG with the tracing collector disabled and ample storage
 ``jdk-nogc``    the base system idem (the other half of that comparison)
@@ -61,8 +64,8 @@ RESET_PERIOD_OPS = 5000
 
 SYSTEMS = (
     "cg", "cg-noopt", "cg-recycle", "cg-recycle-typed", "cg-reset",
-    "cg-segfit", "cg-table", "cg-closure", "jdk", "cg-nogc", "cg-noopt-nogc",
-    "jdk-nogc", "gen", "train",
+    "cg-segfit", "cg-table", "cg-closure", "cg-compiled", "jdk", "cg-nogc",
+    "cg-noopt-nogc", "jdk-nogc", "gen", "train",
 )
 
 
@@ -101,6 +104,10 @@ def config_for(system: str, heap_words: int,
         return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
                              tracing="marksweep", gc_period_ops=gc_period_ops,
                              dispatch="closure")
+    if system == "cg-compiled":
+        return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.paper_default(),
+                             tracing="marksweep", gc_period_ops=gc_period_ops,
+                             dispatch="compiled")
     if system == "jdk":
         return RuntimeConfig(heap_words=heap_words, cg=CGPolicy.disabled(),
                              tracing="marksweep", gc_period_ops=gc_period_ops)
@@ -331,6 +338,12 @@ class RunRequest:
     #: :class:`WorkloadSpec` ones (the wire-friendly way to parameterize
     #: a plain string ``workload``).
     params: Optional[Dict] = None
+    #: Clear the cross-runtime codegen caches before the run, so it pays
+    #: the true fresh-process warmup bill.  The SLA grid's first-request
+    #: latency measurements need this: in-process repeats and warm pool
+    #: workers would otherwise inherit a warm cache.  Observational —
+    #: caches change wall time, never counters.
+    cold_start: bool = False
 
     def resolve_workload(self) -> Workload:
         """Instantiate the workload with its merged, validated params."""
@@ -419,7 +432,7 @@ class RunRequest:
 _REQUEST_FIELDS = (
     "workload", "size", "system", "heap_words", "gc_period_ops", "seed",
     "profile", "count_opcodes", "heartbeat_every", "heartbeat_spool",
-    "requests", "max_ops", "params",
+    "requests", "max_ops", "params", "cold_start",
 )
 
 
@@ -465,6 +478,10 @@ def execute(request: RunRequest) -> RunResult:
     """Run one (workload, size, system) cell and gather its results."""
     from .harness.costmodel import cost_of
 
+    if request.cold_start:
+        from .jvm.compiledcode import clear_codegen_caches
+
+        clear_codegen_caches()
     wl, config, heap = request.build()
     size = request.size_label(wl)
     runtime = Runtime(config)

@@ -40,7 +40,11 @@ _QUARANTINE: Dict[Tuple, FaultReport] = {}
 
 #: Bump when run semantics change in a way that invalidates stored results.
 #: v2: keys grew the RuntimeConfig fingerprint (allocator/dispatch/faults).
-_CACHE_VERSION = 3
+#: v3: keys grew the workload-params axis.  v4: the tiered-dispatch
+#: default flip (fingerprints grew the promotion knobs) — kept in
+#: lockstep with :data:`repro.harness.pool.CACHE_VERSION`, which shares
+#: these on-disk files.
+_CACHE_VERSION = 4
 
 #: Disk cache directory (None disables).  Seeded from the environment so
 #: subprocesses and CI jobs can opt in without CLI plumbing.

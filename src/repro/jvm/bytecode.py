@@ -11,7 +11,7 @@ a list indexed by opcode, and tuples ``(op, a, b)`` are the instruction
 representation (see :mod:`repro.jvm.model`).  The closure tier
 (:mod:`repro.jvm.closurecode`) compiles these tuples once per method into
 pre-bound Python closures, so an opcode added here needs a handler in all
-four dispatch tiers — the parity corpus in ``tests/jvm/test_dispatch.py``
+five dispatch tiers — the parity corpus in ``tests/jvm/test_dispatch.py``
 fails if any tier is forgotten.
 """
 

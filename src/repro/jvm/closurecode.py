@@ -19,7 +19,7 @@ attribute traffic.  A closure returns the next pc, or a negative sentinel:
   only decoded instructions, never the implicit end-of-code return.
 
 Two further techniques ride on top, both semantics-preserving (the
-four-way opcode-parity suite in ``tests/jvm/test_dispatch.py`` is the
+five-way opcode-parity suite in ``tests/jvm/test_dispatch.py`` is the
 oracle):
 
 **Quickening.**  ``getstatic``/``putstatic``/``invokestatic``/``new``

@@ -7,12 +7,16 @@ the opcode's position.  The CG-relevant instructions delegate to the runtime
 services, which raise the collector events; the interpreter itself only
 moves values between locals, operand stacks, and the heap.
 
-Four dispatch tiers share this file's runtime services and must produce
+Five dispatch tiers share this file's runtime services and must produce
 identical stats on every program (the opcode-parity differential suite is
-the oracle): ``compiled`` (the default — per-method compilation to
-generated Python source with guard-protected speculation and deopt to the
-closure tier, :mod:`repro.jvm.compiledcode`), ``closure`` (per-method
-closure compilation with quickening and superinstruction fusion,
+the oracle): ``tiered`` (the default — profile-guided: methods start in
+the closure tier under a per-method invocation + loop-backedge hotness
+counter and are promoted to the compiled tier at a call boundary once
+hot, see :meth:`Interpreter._step_n_tiered`), ``compiled`` (every method
+compiled up front to generated Python source with guard-protected
+speculation and deopt to the closure tier,
+:mod:`repro.jvm.compiledcode`), ``closure`` (per-method closure
+compilation with quickening and superinstruction fusion,
 :mod:`repro.jvm.closurecode`), ``table`` (the loop below), and ``chain``
 (the original if/elif reference, retained via
 ``RuntimeConfig(dispatch="chain")``).
@@ -454,6 +458,43 @@ class Interpreter:
         #: never ticked; each driver reads and re-zeroes it after every
         #: generated-``run`` call.
         self._nout: List[int] = [0, 0]
+        #: Tiered dispatch (profile-guided promotion) state.  ``_hotness``
+        #: maps cold methods to their hotness score (driver visits plus
+        #: weighted loop backedges); crossing ``promote_after`` promotes
+        #: the method to the compiled tier at its next call boundary.
+        #: ``_deopts`` counts guard deopts per promoted method;
+        #: ``_promoted_visits``/``_recompiled`` drive the one-shot
+        #: adaptive-cap recompile (see :meth:`_step_n_tiered`).  All of it
+        #: is wall-time-only bookkeeping: promotion swaps *which*
+        #: parity-equal loop runs a method, never what it counts.
+        self._hotness: Dict[JMethod, int] = {}
+        self._promoted_visits: Dict[JMethod, int] = {}
+        self._deopts: Dict[JMethod, int] = {}
+        self._recompiled: set = set()
+        #: Methods whose first tiered visit already probed the codegen
+        #: caches (memory + disk) for a ready-made compiled form.  One
+        #: probe per method, ever: a hit promotes immediately (codegen is
+        #: free, so the hotness threshold has nothing left to decide), a
+        #: miss falls back to the profile-and-promote path.
+        self._cache_probed: set = set()
+        self._promote_after: int = config.promote_after
+        self._backedge_weight: int = config.promote_backedge_weight
+        #: Always-on compile accounting, independent of the profiler: wall
+        #: seconds and method counts for the one-time closure-compile and
+        #: codegen paths.  Feeds ``vm.compile.*`` metrics, the snapshot
+        #: ``compile`` section, and the bench compile_ms split — cheap
+        #: (two perf_counter calls per *method*, not per instruction), so
+        #: unprofiled runs keep their counters bit-identical.
+        self.compile_seconds: float = 0.0
+        self.codegen_seconds: float = 0.0
+        self.methods_compiled: int = 0
+        self.methods_codegenned: int = 0
+        self.methods_promoted: int = 0
+        self.methods_recompiled: int = 0
+        #: Persistent codegen-cache traffic (incremented by
+        #: :mod:`repro.jvm.compiledcode` when a disk cache is armed).
+        self.codegen_cache_hits: int = 0
+        self.codegen_cache_misses: int = 0
         dispatch = config.dispatch
         if dispatch not in DISPATCH_CHOICES:
             # RuntimeConfig validates at construction; this catches
@@ -472,7 +513,10 @@ class Interpreter:
         #: weights mechanism keeps fused pairs inside every budget slice.)
         #: The compiled tier never fuses: its deopt path single-steps
         #: closure slots one instruction at a time, and a fused slot would
-        #: retire two instructions charged as one there.
+        #: retire two instructions charged as one there.  The tiered mode
+        #: inherits that rule — its cold closure segments become the
+        #: compiled tier's deopt targets after promotion, so they must be
+        #: unfused from the start.
         self._fuse = (
             dispatch == "closure"
             and not runtime._tick_per_op
@@ -483,11 +527,12 @@ class Interpreter:
             # trigger tick() is a pure counter bump, so the observable
             # results stay bit-identical to the batched loops.  Chain
             # dispatch counts via the table loop (they are parity-equal);
-            # the compiled tier counts via the closure loop (per-opcode
-            # observation needs per-instruction dispatch anyway).
+            # the compiled and tiered tiers count via the closure loop
+            # (per-opcode observation needs per-instruction dispatch
+            # anyway, and promotion would only change wall time).
             self.step_n = (
                 self._step_n_closure_counting
-                if dispatch in ("closure", "compiled")
+                if dispatch in ("closure", "compiled", "tiered")
                 else self._step_n_table_counting
             )
         elif dispatch == "chain":
@@ -504,6 +549,15 @@ class Interpreter:
             # wholesale instead (bit-identical by the parity suite).
             self.step_n = (
                 self._step_n_compiled if not runtime._tick_per_op
+                else self._step_n_closure_tick
+            )
+        elif dispatch == "tiered":
+            # Same per-instruction-tick escape hatch as the compiled
+            # tier: with gc_period_ops or a heartbeat armed, promotion
+            # could only ever reach code that deopts at every pc, so the
+            # closure tick loop runs wholesale instead.
+            self.step_n = (
+                self._step_n_tiered if not runtime._tick_per_op
                 else self._step_n_closure_tick
             )
         plan = runtime.config.faults
@@ -963,13 +1017,14 @@ class Interpreter:
             pass
         from .closurecode import compile_method
 
+        started = perf_counter()
+        compiled = compile_method(self, method, fuse=self._fuse)
+        elapsed = perf_counter() - started
+        self.compile_seconds += elapsed
+        self.methods_compiled += 1
         profiler = self.runtime.profiler
         if profiler.enabled:
-            started = perf_counter()
-            compiled = compile_method(self, method, fuse=self._fuse)
-            profiler.add(PHASE_COMPILE, perf_counter() - started)
-        else:
-            compiled = compile_method(self, method, fuse=self._fuse)
+            profiler.add(PHASE_COMPILE, elapsed)
         self._ccache[method] = compiled
         return compiled
 
@@ -988,13 +1043,34 @@ class Interpreter:
         closure = self._compiled_for(method)
         from .compiledcode import compile_method_py
 
+        started = perf_counter()
+        compiled = compile_method_py(self, method, closure)
+        elapsed = perf_counter() - started
+        self.codegen_seconds += elapsed
         profiler = self.runtime.profiler
         if profiler.enabled:
-            started = perf_counter()
-            compiled = compile_method_py(self, method, closure)
-            profiler.add(PHASE_CODEGEN, perf_counter() - started)
-        else:
-            compiled = compile_method_py(self, method, closure)
+            profiler.add(PHASE_CODEGEN, elapsed)
+        self._pycache[method] = compiled
+        return compiled
+
+    def _py_cached_for(self, method: JMethod):
+        """Cache-only twin of :meth:`_py_compiled_for`: adopt a
+        previously generated form (in-memory or on-disk) without ever
+        running the codegen, or return ``None``.  The binding rebuild a
+        hit still pays is charged to ``PHASE_CODEGEN`` like any other
+        warmup cost."""
+        closure = self._compiled_for(method)
+        from .compiledcode import cached_method_py
+
+        started = perf_counter()
+        compiled = cached_method_py(self, method, closure)
+        elapsed = perf_counter() - started
+        if compiled is None:
+            return None
+        self.codegen_seconds += elapsed
+        profiler = self.runtime.profiler
+        if profiler.enabled:
+            profiler.add(PHASE_CODEGEN, elapsed)
         self._pycache[method] = compiled
         return compiled
 
@@ -1130,6 +1206,279 @@ class Interpreter:
                 if pc > cm.ilen:
                     # Wild branch past the end: any pc >= len(code) is the
                     # implicit return, as in the other tiers.
+                    pc = cm.ilen
+                limit = budget - executed
+                n = 0
+                try:
+                    while n < limit:
+                        n += 1
+                        pc = ccode[pc](frame, thread)
+                        if pc < 0:
+                            if pc == -2:
+                                unticked += 1
+                            break
+                        if pc in leaders and limit - n >= blen[pc]:
+                            break
+                finally:
+                    executed += n
+                if pc >= 0:
+                    frame.pc = pc
+        finally:
+            ticked = executed - unticked
+            if ticked:
+                runtime.tick(ticked)
+        self.instructions_executed += executed
+        if profiler.enabled:
+            elapsed = perf_counter() - profile_started
+            profiler.add(PHASE_INTERPRET, elapsed)
+            profiler.charge_depth(profile_depth, elapsed)
+        return executed
+
+    def _call_tiered(self, frame, thread: JThread, budget: int,
+                     nout) -> Tuple[int, bool]:
+        """Tiered-mode ``_call`` binding: :meth:`_call_threaded` minus the
+        force-compile.  A promoted caller may invoke a still-cold callee;
+        threading through it would codegen the callee eagerly — exactly
+        the warmup cost tiering exists to avoid — so this variant refuses
+        (``done=False``) whenever the callee has no generated form yet,
+        handing the frame back to :meth:`_step_n_tiered`, whose cold path
+        runs it in the closure tier and counts its hotness.
+        """
+        frames = thread.stack.frames
+        if frames[-1] is frame:
+            return 0, True
+        stop_depth = len(frames) - 1
+        if stop_depth >= self.CALL_THREAD_MAX_DEPTH:
+            return 0, False
+        executed = 0
+        pycache = self._pycache
+        while len(frames) > stop_depth:
+            if executed >= budget:
+                return executed, False
+            callee = frames[-1]
+            comp = pycache.get(callee.method)
+            if comp is None:
+                return executed, False
+            pc = callee.pc
+            if pc not in comp.leaders:
+                return executed, False
+            nout[0] = 0
+            try:
+                k, npc = comp.run(callee, thread, budget - executed, nout)
+            except BaseException:
+                nout[0] += executed
+                raise
+            executed += k
+            if npc == -2:
+                nout[1] += 1
+                continue
+            if npc < 0:
+                continue
+            callee.pc = npc
+            return executed, False
+        return executed, True
+
+    #: Promoted-method driver visits after which the one-shot adaptive-cap
+    #: recompile decision is taken (deopt-free by then -> lifted caps).
+    RECOMPILE_AFTER_VISITS = 32
+
+    def _recompile_lifted(self, method: JMethod):
+        """Recompile a promoted, deopt-free method with a lifted trace cap.
+
+        The hotness profile showing zero guard deopts over
+        :data:`RECOMPILE_AFTER_VISITS` driver visits means the method is
+        straight-line/counted-loop shaped: no polymorphic call sites, no
+        failing speculation.  Such methods are recompiled once with
+        ``MAX_TRACE`` lifted so goto-threading fuses longer traces (one
+        upfront budget guard per trace instead of per block).  The trace
+        cap stays bounded by the scheduler quantum — a trace longer than
+        the driving budget could never pass the generated all-or-nothing
+        budget guard and would deopt to closure slots forever.  The
+        *block* cap deliberately stays at ``MAX_BLOCK``: it is the
+        refusal granularity, and every quantum boundary runs up to a
+        block's worth of instructions through closure slots twice (the
+        refused tail, then the mid-block catch-up at the next visit), so
+        doubling it measurably pushes ~10% of a tight kernel's
+        instructions onto the slow path.  Counter parity is unaffected:
+        caps only move where generated code *refuses*, and every refusal
+        path charges identically to the closure tier.
+        """
+        from .compiledcode import compile_method_py
+
+        closure = self._compiled_for(method)
+        quantum = self.runtime.config.quantum
+        max_trace = min(max(96, quantum), 256)
+        started = perf_counter()
+        compiled = compile_method_py(
+            self, method, closure, max_trace=max_trace,
+        )
+        elapsed = perf_counter() - started
+        self.codegen_seconds += elapsed
+        self.methods_recompiled += 1
+        profiler = self.runtime.profiler
+        if profiler.enabled:
+            profiler.add(PHASE_CODEGEN, elapsed)
+        self._pycache[method] = compiled
+        return compiled
+
+    def _step_n_tiered(self, thread: JThread, budget: int,
+                       stop_depth: int = 0) -> int:
+        """The tiered-dispatch loop: profile-guided closure-to-compiled
+        promotion.
+
+        Cold methods run the closure inner loop (as
+        :meth:`_step_n_closure`, unfused) while a hotness score
+        accumulates: +1 per driver visit, +``promote_backedge_weight``
+        per backward branch observed in the segment.  When the score
+        reaches ``promote_after``, the method is promoted at its next
+        call boundary — codegenned and driven through the verbatim
+        :meth:`_step_n_compiled` protocol from then on, including its
+        deopt path.  A promoted method that stays deopt-free for
+        :data:`RECOMPILE_AFTER_VISITS` visits is recompiled once with
+        lifted trace caps (:meth:`_recompile_lifted`).
+
+        Soundness: the closure and compiled tiers are counter-identical
+        on every program (the parity suite's oracle), so *any* per-method
+        interleaving of the two is counter-identical too — hotness only
+        decides which tier spends the wall time.  The score itself is
+        derived from driver visits, never from ``runtime.ops``, and is
+        read by nothing but this loop.
+        """
+        runtime = self.runtime
+        executed = 0
+        frames = thread.stack.frames
+        profiler = runtime.profiler
+        if profiler.enabled:
+            profile_started = perf_counter()
+            profile_depth = len(frames)
+        ccache = self._ccache
+        compiled_for = self._compiled_for
+        pycache = self._pycache
+        py_for = self._py_compiled_for
+        py_cached_for = self._py_cached_for
+        probed = self._cache_probed
+        hot = self._hotness
+        threshold = self._promote_after
+        bweight = self._backedge_weight
+        pvisits = self._promoted_visits
+        deopts = self._deopts
+        recompiled = self._recompiled
+        nout = self._nout
+        unticked = 0
+        try:
+            while executed < budget and len(frames) > stop_depth:
+                frame = frames[-1]
+                method = frame.method
+                comp = pycache.get(method)
+                if comp is None:
+                    score = hot.get(method, 0) + 1
+                    if score == 1 and method not in probed:
+                        # First visit ever: probe the codegen caches once.
+                        # The threshold exists to decide whether codegen
+                        # pays for itself; a warm cache (bench repeats,
+                        # warm pool workers, repeated serve requests)
+                        # makes it free, so a hit promotes immediately
+                        # instead of re-earning the profile.  Pure
+                        # wall-time policy — parity is tier-invariant.
+                        probed.add(method)
+                        comp = py_cached_for(method)
+                        if comp is not None:
+                            self.methods_promoted += 1
+                    if comp is None and score >= threshold:
+                        # Promotion at a call boundary: codegen now and
+                        # fall through to the compiled protocol for this
+                        # very visit.  The mid-method case (a quantum
+                        # tail left pc at a non-leader) is covered by the
+                        # closure segment below, exactly like a deopt.
+                        comp = py_for(method)
+                        hot.pop(method, None)
+                        self.methods_promoted += 1
+                    elif comp is None:
+                        # Cold: closure inner loop + backedge profiling.
+                        cm = ccache.get(method) or compiled_for(method)
+                        ccode = cm.ccode
+                        pc = frame.pc
+                        if pc > cm.ilen:
+                            # Wild branch past the end: implicit return,
+                            # as in every other tier.
+                            pc = cm.ilen
+                        limit = budget - executed
+                        n = 0
+                        back = 0
+                        try:
+                            while n < limit:
+                                n += 1
+                                prev = pc
+                                pc = ccode[pc](frame, thread)
+                                if pc < 0:
+                                    if pc == -2:
+                                        unticked += 1
+                                    break
+                                if pc <= prev:
+                                    back += 1
+                        finally:
+                            executed += n
+                        if pc >= 0:
+                            frame.pc = pc
+                        if back:
+                            score += back * bweight
+                        hot[method] = score
+                        continue
+                # Promoted: the _step_n_compiled protocol, verbatim, plus
+                # deopt bookkeeping for the adaptive-cap recompile.  Once
+                # the one-shot decision is taken the method is *settled*
+                # and every remaining visit skips the bookkeeping — the
+                # deopt record has nothing left to gate.
+                settled = method in recompiled
+                if not settled:
+                    v = pvisits.get(method, 0) + 1
+                    if v >= self.RECOMPILE_AFTER_VISITS:
+                        recompiled.add(method)
+                        settled = True
+                        pvisits.pop(method, None)
+                        if not deopts.get(method):
+                            comp = self._recompile_lifted(method)
+                    else:
+                        pvisits[method] = v
+                leaders = comp.leaders
+                pc = frame.pc
+                if pc in leaders:
+                    nout[0] = 0
+                    try:
+                        k, npc = comp.run(frame, thread, budget - executed,
+                                          nout)
+                    except BaseException:
+                        executed += nout[0]
+                        u = nout[1]
+                        if u:
+                            unticked += u
+                            nout[1] = 0
+                        raise
+                    executed += k
+                    u = nout[1]
+                    if u:
+                        unticked += u
+                        nout[1] = 0
+                    if npc == -2:
+                        unticked += 1
+                        continue
+                    if npc < 0:
+                        continue
+                    frame.pc = npc
+                    if not settled and npc not in leaders:
+                        # Refusals hand back leader pcs; a non-leader can
+                        # only be a guard deopt mid-block.  Recorded for
+                        # the recompile decision, never for counters.
+                        deopts[method] = deopts.get(method, 0) + 1
+                    if executed >= budget:
+                        continue
+                # Closure-dispatched segment: the deopt path and the
+                # quantum tail, identical to _step_n_compiled.
+                cm = comp.closure
+                ccode = cm.ccode
+                blen = comp.blen
+                pc = frame.pc
+                if pc > cm.ilen:
                     pc = cm.ilen
                 limit = budget - executed
                 n = 0

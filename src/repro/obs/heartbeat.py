@@ -53,7 +53,11 @@ from typing import Dict, List, Optional
 #: v3 added the ``requests`` section: per-request latency/pause
 #: attribution from request-structured workloads (None when the run is
 #: unprofiled or the workload never brackets requests).
-SNAPSHOT_SCHEMA = "cg-snapshot/3"
+#: v4 added the ``compile`` section: the interpreter's always-on
+#: compile-budget counters (methods compiled/codegenned/promoted/
+#: recompiled, wall ms per tier, persistent-cache traffic) — present
+#: even in unprofiled runs, None only before the interpreter exists.
+SNAPSHOT_SCHEMA = "cg-snapshot/4"
 
 #: Snapshots retained per run file (a ring: older beats roll off).
 DEFAULT_RING = 16
@@ -131,6 +135,22 @@ def runtime_snapshot(runtime) -> Dict:
     data["requests"] = (
         profiler.request_summary()
         if profiler is not None and profiler.enabled else None
+    )
+    # getattr, not the lazy property: a snapshot must never *create* the
+    # interpreter (crash dumps can fire before the first instruction).
+    interp = getattr(runtime, "_interpreter", None)
+    data["compile"] = (
+        {
+            "methods_compiled": interp.methods_compiled,
+            "methods_codegenned": interp.methods_codegenned,
+            "methods_promoted": interp.methods_promoted,
+            "methods_recompiled": interp.methods_recompiled,
+            "compile_ms": interp.compile_seconds * 1000.0,
+            "codegen_ms": interp.codegen_seconds * 1000.0,
+            "cache_hits": interp.codegen_cache_hits,
+            "cache_misses": interp.codegen_cache_misses,
+        }
+        if interp is not None else None
     )
     return data
 

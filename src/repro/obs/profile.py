@@ -57,6 +57,14 @@ PHASE_CODEGEN = "codegen"
 #: and one-time compile/codegen phases are mutator/warmup time.
 PAUSE_PHASES = frozenset({PHASE_MSA, PHASE_CG_EVENTS, PHASE_RECYCLE})
 
+#: Phases that count as *warmup* (one-time compilation) for per-request
+#: attribution: a request that first-invokes a method eats its closure
+#: compile and codegen right inside the request window.  Tracked
+#: separately from :data:`PAUSE_PHASES` so ``bench --sla`` can show
+#: warmup pauses shrinking under tiered dispatch while collector pauses
+#: stay untouched.
+WARMUP_PHASES = frozenset({PHASE_COMPILE, PHASE_CODEGEN})
+
 #: Pause-histogram bucket upper bounds in milliseconds (log-ish scale);
 #: a sample lands in the first bucket whose bound is >= its duration,
 #: and anything beyond the last bound lands in the overflow bucket, so
@@ -100,11 +108,17 @@ class PhaseProfiler:
         #: p999 over a server run needs every request, not a window.
         self.request_totals: List[float] = []
         self.request_pauses: List[float] = []
+        #: Per-request warmup time: :data:`WARMUP_PHASES` (one-time
+        #: compile/codegen) samples that landed inside the window — the
+        #: compile-budget attribution the tiered dispatch mode exists to
+        #: shrink on early requests.
+        self.request_compiles: List[float] = []
         #: Histogram of *every* pause-phase sample (inside a request
         #: window or not), bucketed per :data:`PAUSE_BUCKETS_MS`.
         self.pause_hist: List[int] = [0] * (len(PAUSE_BUCKETS_MS) + 1)
         self._request_started: Optional[float] = None
         self._request_pause = 0.0
+        self._request_compile = 0.0
 
     def add(self, phase: str, seconds: float) -> None:
         self.seconds[phase] += seconds
@@ -116,27 +130,35 @@ class PhaseProfiler:
             ] += 1
             if self._request_started is not None:
                 self._request_pause += seconds
+        elif phase in WARMUP_PHASES:
+            if self._request_started is not None:
+                self._request_compile += seconds
 
     # ------------------------------------------------------------------
     # Per-request attribution
     # ------------------------------------------------------------------
 
     def request_begin(self) -> None:
-        """Open a request window: pause-phase time now accrues to it."""
+        """Open a request window: pause- and warmup-phase time now
+        accrues to it."""
         self._request_pause = 0.0
+        self._request_compile = 0.0
         self._request_started = perf_counter()
 
     def request_end(self) -> None:
-        """Close the window and record (total, pause) for this request."""
+        """Close the window and record (total, pause, compile)."""
         started = self._request_started
         if started is None:
             return
         self._request_started = None
-        self._note_request(perf_counter() - started, self._request_pause)
+        self._note_request(perf_counter() - started, self._request_pause,
+                           self._request_compile)
 
-    def _note_request(self, total_s: float, pause_s: float) -> None:
+    def _note_request(self, total_s: float, pause_s: float,
+                      compile_s: float = 0.0) -> None:
         self.request_totals.append(total_s)
         self.request_pauses.append(pause_s)
+        self.request_compiles.append(compile_s)
 
     def charge_depth(self, depth: int, seconds: float) -> None:
         self.depth_seconds[depth] += seconds
@@ -196,14 +218,24 @@ class PhaseProfiler:
         if not totals:
             return None
         pauses = self.request_pauses
+        compiles = self.request_compiles
         total_s = sum(totals)
         pause_s = sum(pauses)
+        compile_s = sum(compiles)
         mutator = [max(0.0, t - p) for t, p in zip(totals, pauses)]
         return {
             "requests": len(totals),
             "request_ms": _nearest_rank(sorted(totals)),
             "pause_ms": _nearest_rank(sorted(pauses)),
             "mutator_ms": _nearest_rank(sorted(mutator)),
+            # Warmup attribution: compile/codegen time that landed inside
+            # request windows, plus the first request's wall and compile
+            # share — the cold-start numbers tiered promotion shrinks.
+            "compile_ms": _nearest_rank(sorted(compiles)),
+            "compile_total_ms": compile_s * 1000.0,
+            "first_request_ms": totals[0] * 1000.0,
+            "first_request_compile_ms": (compiles[0] * 1000.0
+                                         if compiles else 0.0),
             "pause_share_pct": (100.0 * pause_s / total_s) if total_s else 0.0,
             "pause_hist": {
                 "le_ms": list(PAUSE_BUCKETS_MS),
@@ -254,6 +286,7 @@ class NullProfiler:
     samples: Dict[str, deque] = {}
     request_totals: List[float] = []
     request_pauses: List[float] = []
+    request_compiles: List[float] = []
     pause_hist: List[int] = []
 
     def add(self, phase: str, seconds: float) -> None:  # pragma: no cover

@@ -3,10 +3,10 @@
 The SPEC-shaped workloads drive the runtime through the direct
 :class:`~repro.jvm.mutator.Mutator`, bypassing the interpreter entirely —
 perfect for CG measurements, useless for measuring dispatch cost.  The
-three workloads here are real assembled bytecode executed by
-:meth:`Runtime.run`, so the chain/table/closure/compiled tiers actually
+workloads here are real assembled bytecode executed by
+:meth:`Runtime.run`, so the chain/table/closure/compiled/tiered tiers
 differ on them.  They are the workloads behind the bench harness's
-compiled-vs-table speedup ladder and the four-way parity differential
+cg-vs-table speedup ladder and the five-way parity differential
 tests.
 
 * ``bc-arith`` — pure integer arithmetic and branching, zero allocation:

@@ -22,12 +22,12 @@ def make_runtime(
 
     ``dispatch`` defaults to the ``REPRO_DISPATCH`` env knob (falling back
     to the runtime default), so CI can sweep the whole suite across the
-    chain/table/closure/compiled tiers without touching any test.
+    chain/table/closure/compiled/tiered tiers without touching any test.
     """
     if cg is None:
         cg = CGPolicy(paranoid=paranoid, **cg_overrides)
     if dispatch is None:
-        dispatch = os.environ.get("REPRO_DISPATCH", "compiled")
+        dispatch = os.environ.get("REPRO_DISPATCH", "tiered")
     config = RuntimeConfig(
         heap_words=heap_words,
         cg=cg,

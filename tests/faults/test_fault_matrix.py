@@ -186,11 +186,13 @@ class TestFaultDispatchParity:
 
     The closure tier fuses superinstructions; the fault wrapper slices the
     budget at the firing point, so a trap must never skid past a fused
-    pair — whatever the ``after`` index, all four tiers stop at exactly
+    pair — whatever the ``after`` index, all five tiers stop at exactly
     the same instruction with the same fault_stats.  The compiled tier
     adds generated multi-instruction traces: the budget slice must refuse
     a trace it cannot finish and fall back to single-stepped closures so
-    the trap still lands on the exact index.
+    the trap still lands on the exact index.  The tiered tier adds the
+    promotion boundary: the trap index must be unchanged whether it lands
+    before or after a method's promotion to the compiled tier.
     """
 
     # Straight-line const+add blocks: plenty of fused pairs for the trap
@@ -213,15 +215,17 @@ class TestFaultDispatchParity:
         + "done:\n    load 0\n    retval\n"
     )
 
-    DISPATCHES = ("chain", "table", "closure", "compiled")
+    DISPATCHES = ("chain", "table", "closure", "compiled", "tiered")
 
-    def run_faulted(self, source, plan, dispatch, heap_words=1 << 14):
+    def run_faulted(self, source, plan, dispatch, heap_words=1 << 14,
+                    **config_kwargs):
         program = assemble(source)
         config = RuntimeConfig(
             heap_words=heap_words,
             cg=CGPolicy(paranoid=True),
             faults=plan,
             dispatch=dispatch,
+            **config_kwargs,
         )
         return Runtime(config, program=program)
 
@@ -241,6 +245,42 @@ class TestFaultDispatchParity:
         assert stops["table"] == stops["chain"]
         assert stops["closure"] == stops["table"]
         assert stops["compiled"] == stops["table"]
+        assert stops["tiered"] == stops["table"]
+
+    @pytest.mark.parametrize("after", [3, 25, 120, 400])
+    def test_trap_index_unchanged_across_promotion(self, after):
+        # A hot loop under aggressive promotion (promote_after=2): early
+        # ``after`` values land while Main.main is still on the closure
+        # tier, late ones after it has been promoted to generated code.
+        # Either side of the boundary, the trap must land on exactly the
+        # same instruction index the chain tier stops at.
+        hot_loop = (
+            MAIN
+            + "    const 0\n    store 0\n"
+            + "loop:\n"
+            + "    load 0\n    const 200\n    if_icmpge done\n"
+            + "    iinc 0 1\n    goto loop\n"
+            + "done:\n    load 0\n    retval\n"
+        )
+        stops = {}
+        for dispatch in ("chain", "tiered"):
+            plan = FaultPlan([FaultSpec("interp.step", "trap", after=after)])
+            rt = self.run_faulted(hot_loop, plan, dispatch,
+                                  promote_after=2)
+            with pytest.raises(TrapFault):
+                rt.run("Main.main")
+            stops[dispatch] = (
+                rt.interpreter.instructions_executed,
+                dict(rt.fault_stats),
+            )
+            assert rt.interpreter.instructions_executed == after
+        assert stops["tiered"] == stops["chain"]
+        # Sanity on the scenario itself: the late trap indices really do
+        # land after promotion (the early ones before it).
+        rt_clean = self.run_faulted(hot_loop, FaultPlan([]), "tiered",
+                                    promote_after=2)
+        assert rt_clean.run("Main.main") == 200
+        assert rt_clean.interpreter.methods_promoted > 0
 
     def test_heap_alloc_cascade_identical_across_tiers(self):
         outcomes = {}
@@ -260,6 +300,7 @@ class TestFaultDispatchParity:
         assert outcomes["table"] == outcomes["chain"]
         assert outcomes["closure"] == outcomes["table"]
         assert outcomes["compiled"] == outcomes["table"]
+        assert outcomes["tiered"] == outcomes["table"]
 
 
 class TestNativeCallEscape:

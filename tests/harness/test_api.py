@@ -139,11 +139,11 @@ class TestTerminationPolicy:
 
 
 class TestCacheVersioning:
-    def test_cache_version_bumped_for_params_axis(self):
+    def test_cache_version_bumped_for_tiered_default(self):
         from repro.harness.pool import CACHE_VERSION
 
-        assert figures_mod._CACHE_VERSION == 3
-        assert CACHE_VERSION == 3
+        assert figures_mod._CACHE_VERSION == 4
+        assert CACHE_VERSION == 4
 
     def test_cell_key_carries_params_axis(self):
         bare = figures_mod.cell_key("server", 0, "cg")
@@ -242,6 +242,19 @@ class TestConfigValidation:
         with pytest.raises(ValueError, match="did you mean 'compiled'"):
             RuntimeConfig()
 
+    def test_repro_dispatch_env_tiered_typo_rejected(self, monkeypatch):
+        # The newest tier is in the registry the env knob validates
+        # against, so its typos get the same did-you-mean treatment.
+        monkeypatch.setenv("REPRO_DISPATCH", "teired")
+        with pytest.raises(ValueError, match="did you mean 'tiered'"):
+            RuntimeConfig()
+
+    def test_promotion_knobs_validated(self):
+        with pytest.raises(ValueError, match="promote_after"):
+            RuntimeConfig(promote_after=0)
+        with pytest.raises(ValueError, match="promote_backedge_weight"):
+            RuntimeConfig(promote_backedge_weight=-1)
+
 
 class TestConfigFingerprint:
     def test_fingerprint_covers_allocator_dispatch_faults(self):
@@ -254,6 +267,16 @@ class TestConfigFingerprint:
         plan = FaultPlan.parse("heap.alloc:oom:after=7")
         assert base.fingerprint() != RuntimeConfig(
             faults=plan).fingerprint()
+
+    def test_fingerprint_covers_promotion_knobs(self):
+        # Promotion timing never changes counters, but the knobs are
+        # config (run identity), not observation — they always enter the
+        # fingerprint, whatever the dispatch tier.
+        base = RuntimeConfig()
+        assert base.fingerprint() != RuntimeConfig(
+            promote_after=7).fingerprint()
+        assert base.fingerprint() != RuntimeConfig(
+            promote_backedge_weight=3).fingerprint()
 
     def test_fingerprint_excludes_observers_and_heap(self):
         base = RuntimeConfig()

@@ -34,6 +34,44 @@ class TestRunBench:
         bench.write_bench(path, report)
         assert bench.load_bench(path) == report
 
+    def test_compile_ms_split_cold_vs_steady(self):
+        # Every grid cell reports both warmup columns; for a compiling
+        # system the cold number (cleared codegen cache) dominates the
+        # steady-state one, which only pays binding rebuilds.
+        report = bench.run_bench(["bc-loop"], ["cg-compiled", "cg-table"],
+                                 size=1, repeats=1)
+        by_system = {e["system"]: e for e in report["entries"]}
+        compiled = by_system["cg-compiled"]
+        assert compiled["compile_ms_first_iter"] > 0.0
+        assert compiled["compile_ms"] >= 0.0
+        assert compiled["compile_ms_first_iter"] >= compiled["compile_ms"]
+        # The table tier never runs the codegen, cold or warm.
+        table = by_system["cg-table"]
+        assert table["compile_ms_first_iter"] >= 0.0
+
+
+class TestWarmupCurve:
+    def test_report_shape(self):
+        report = bench.run_warmup_curve(["bc-loop"], ["cg", "cg-table"],
+                                        size=1, iters=3)
+        assert report["warmup_curve"] is True
+        assert report["version"] == bench.BENCH_VERSION
+        assert len(report["entries"]) == 2
+        for entry in report["entries"]:
+            assert entry["iters"] == 3
+            assert len(entry["walls"]) == 3
+            assert entry["first_iter_wall_seconds"] == entry["walls"][0]
+            assert entry["steady_wall_seconds"] == min(entry["walls"])
+            assert entry["warmup_ratio"] >= 1.0
+            assert 1 <= entry["time_to_peak_iters"] <= 3
+
+    def test_lines_render(self):
+        report = bench.run_warmup_curve(["bc-loop"], ["cg"], size=1,
+                                        iters=2)
+        lines = bench.warmup_lines(report)
+        assert any("bc-loop" in line for line in lines)
+        assert any("warmup curve" in line for line in lines)
+
 
 class TestCompare:
     def test_identical_reports_pass(self):
@@ -163,6 +201,51 @@ class TestDispatchSpeedup:
         geomean, lines = bench.dispatch_speedup(tiny_report())
         assert geomean is None
         assert lines == []
+
+
+def ladder_report(ratios):
+    """A report with one cg/cg-table pair per ``{workload: ratio}``."""
+    entries = []
+    for workload, ratio in ratios.items():
+        for system, wall in (("cg", 0.1 / ratio), ("cg-table", 0.1)):
+            entries.append({
+                "workload": workload, "size": 1, "system": system,
+                "wall_seconds": wall, "ops": 1000,
+                "ops_per_sec": 1000 / wall, "alloc_search_steps": 0,
+            })
+    return {"version": bench.BENCH_VERSION, "size": 1, "repeats": 1,
+            "entries": entries}
+
+
+class TestDispatchFloor:
+    def test_baseline_geomean_below_floor_fails(self):
+        low = ladder_report({"bc-arith": 1.5, "bc-list": 1.2})
+        ok, lines = bench.check_dispatch_floor(low, low)
+        assert not ok
+        assert any("baseline" in line and "FAIL" in line for line in lines)
+
+    def test_live_subset_gated_per_workload_not_by_geomean(self):
+        # The baseline's geomean clears the floor on the strength of
+        # bc-arith; a live --small-style grid carrying only bc-list must
+        # be judged against bc-list's own recorded ratio, not the
+        # cross-workload geomean it cannot reach.
+        base = ladder_report({"bc-arith": 5.0, "bc-list": 1.6})
+        live = ladder_report({"bc-list": 1.5})
+        ok, lines = bench.check_dispatch_floor(live, base)
+        assert ok, lines
+        assert any("live bc-list" in line and "ok" in line for line in lines)
+
+    def test_live_regression_past_noise_band_fails(self):
+        base = ladder_report({"bc-arith": 5.0, "bc-list": 1.6})
+        live = ladder_report({"bc-list": 1.0})  # < 1.6 * 0.75
+        ok, lines = bench.check_dispatch_floor(live, base)
+        assert not ok
+        assert any("live bc-list" in line and "FAIL" in line for line in lines)
+
+    def test_no_ladder_cells_pass_vacuously(self):
+        ok, lines = bench.check_dispatch_floor(tiny_report(), tiny_report())
+        assert ok
+        assert any("not applicable" in line for line in lines)
 
 
 class TestMainCompare:

@@ -1,15 +1,18 @@
-"""Four-way dispatch parity: chain vs table vs closure vs compiled.
+"""Five-way dispatch parity: chain vs table vs closure vs compiled vs tiered.
 
-The interpreter ships four dispatch tiers: the original if/elif chain
+The interpreter ships five dispatch tiers: the original if/elif chain
 (``dispatch="chain"``, the reference implementation), the opcode-indexed
 handler table (``"table"``), the closure-compiled tier (``"closure"``)
-with quickening and superinstruction fusion, and the compiled tier
-(``"compiled"``, the default) that lowers each method to generated Python
-source and deopts to closure slots at guard failures and quantum tails.
-These tests run the same programs under all four and require identical
-results, instruction counts, and VM state — and the parity corpus must
-collectively exercise *every* opcode, so a new opcode cannot be added to
-one tier and forgotten in the others.
+with quickening and superinstruction fusion, the compiled tier
+(``"compiled"``) that lowers each method to generated Python source and
+deopts to closure slots at guard failures and quantum tails, and the
+tiered tier (``"tiered"``, the default) that starts every method on the
+closure tier and promotes it to the compiled tier at a call boundary
+once a hotness counter crosses ``promote_after``.  These tests run the
+same programs under all five and require identical results, instruction
+counts, and VM state — and the parity corpus must collectively exercise
+*every* opcode, so a new opcode cannot be added to one tier and
+forgotten in the others.
 
 The closure tier gets extra scrutiny: quickening must rewrite slots
 in place without changing observable behaviour, and a fused
@@ -27,7 +30,7 @@ from repro.jvm import bytecode as bc
 from repro.jvm.errors import VerifyError
 from repro.workloads.base import get_workload
 
-DISPATCHES = ("chain", "table", "closure", "compiled")
+DISPATCHES = ("chain", "table", "closure", "compiled", "tiered")
 
 MAIN = "class Main\nmethod Main.main(0)\n"
 
@@ -276,13 +279,14 @@ class TestSuperinstructions:
         # quantum, closure and table agree bit for bit.
         expected = 200 * (11 + 3)
         snapshots = {}
-        for dispatch in ("table", "closure", "compiled"):
+        for dispatch in ("table", "closure", "compiled", "tiered"):
             result, rt = run_one(FUSIBLE_LOOP, [], dispatch,
                                  quantum=quantum)
             assert result == expected
             snapshots[dispatch] = snapshot(rt)
         assert snapshots["closure"] == snapshots["table"]
         assert snapshots["compiled"] == snapshots["table"]
+        assert snapshots["tiered"] == snapshots["table"]
 
     def test_quantum_split_with_threads(self):
         # Round-robin across a spawned allocator thread: the quantum
@@ -309,13 +313,14 @@ class TestSuperinstructions:
             + "done:\n    load 1\n    retval\n"
         )
         snapshots = {}
-        for dispatch in ("table", "closure", "compiled"):
+        for dispatch in ("table", "closure", "compiled", "tiered"):
             result, rt = run_one(source, [], dispatch, quantum=7,
                                  heap_words=4096)
             assert result == 300
             snapshots[dispatch] = snapshot(rt)
         assert snapshots["closure"] == snapshots["table"]
         assert snapshots["compiled"] == snapshots["table"]
+        assert snapshots["tiered"] == snapshots["table"]
 
 
 class TestWorkloadDifferential:
@@ -340,6 +345,8 @@ class TestWorkloadDifferential:
         assert snapshots["table"] == snapshots["chain"]
         assert snapshots["closure"] == snapshots["table"]
         assert snapshots["compiled"] == snapshots["table"]
+        assert snapshots["tiered"] == snapshots["table"]
+        assert snapshots["tiered"] == snapshots["table"]
 
     @pytest.mark.parametrize(
         "name", ["bc-arith", "bc-list", "bc-calls", "bc-loop"])
@@ -363,6 +370,8 @@ class TestWorkloadDifferential:
         assert snapshots["table"] == snapshots["chain"]
         assert snapshots["closure"] == snapshots["table"]
         assert snapshots["compiled"] == snapshots["table"]
+        assert snapshots["tiered"] == snapshots["table"]
+        assert snapshots["tiered"] == snapshots["table"]
 
 
 POLY_SOURCE = (
@@ -398,7 +407,7 @@ class TestCompiledDeopt:
     def test_polymorphic_guard_deopt_mid_block(self):
         # The call site alternates Square/Circle, so whichever class the
         # site quickens to, half the calls fail the guard and finish the
-        # block on the closure tier.  All four tiers still agree exactly.
+        # block on the closure tier.  All five tiers still agree exactly.
         assert_parity(POLY_SOURCE, [], POLY_EXPECTED)
 
     def test_deopt_site_stays_on_generated_code(self):
@@ -419,23 +428,25 @@ class TestCompiledDeopt:
         # instructions interleave within a single slice.  Tick totals and
         # heap state still match the table tier bit for bit.
         snapshots = {}
-        for dispatch in ("table", "closure", "compiled"):
+        for dispatch in ("table", "closure", "compiled", "tiered"):
             result, rt = run_one(POLY_SOURCE, [], dispatch, quantum=quantum)
             assert result == POLY_EXPECTED
             snapshots[dispatch] = snapshot(rt)
         assert snapshots["closure"] == snapshots["table"]
         assert snapshots["compiled"] == snapshots["table"]
+        assert snapshots["tiered"] == snapshots["table"]
 
     def test_deopt_at_fused_pair_boundary(self):
         # The deopt target is the *unfused* closure form: landing between
         # the halves of what the closure tier would fuse must not skid.
         snapshots = {}
-        for dispatch in ("table", "closure", "compiled"):
+        for dispatch in ("table", "closure", "compiled", "tiered"):
             result, rt = run_one(FUSIBLE_LOOP, [], dispatch, quantum=1)
             assert result == 200 * (11 + 3)
             snapshots[dispatch] = snapshot(rt)
         assert snapshots["closure"] == snapshots["table"]
         assert snapshots["compiled"] == snapshots["table"]
+        assert snapshots["tiered"] == snapshots["table"]
 
     def test_codegen_cache_shared_across_runtimes(self):
         # Identical bytecode in a fresh runtime reuses the cached
@@ -451,3 +462,137 @@ class TestCompiledDeopt:
         assert comp2.source is comp1.source  # cache hit, not a regen
         assert comp2.run.__code__ is comp1.run.__code__
         assert comp2.run is not comp1.run  # bindings are per-runtime
+
+
+HOT_LOOP = (
+    MAIN
+    + "    const 0\n    store 0\n"
+    + "    const 0\n    store 1\n"
+    + "loop:\n"
+    + "    load 0\n    const 120\n    if_icmpge done\n"
+    + "    load 0\n    invokestatic Main.step\n"
+    + "    load 1\n    add\n    store 1\n"
+    + "    iinc 0 1\n    goto loop\n"
+    + "done:\n    load 1\n    retval\n"
+    + "method Main.step(1)\n"
+    + "    load 0\n    const 2\n    mul\n    retval\n"
+)
+
+HOT_EXPECTED = sum(2 * i for i in range(120))
+
+
+class TestTieredPromotion:
+    """Promotion timing is a performance decision, never a semantic one."""
+
+    @pytest.mark.parametrize("promote_after", [1, 2, 5, 16, 1_000_000])
+    def test_promotion_boundary_parity(self, promote_after):
+        # Sweep the threshold across "promote on first visit", "promote
+        # mid-run", and "never promote": counters must be bit-identical
+        # to the table tier at every boundary.
+        ref_result, ref_rt = run_one(HOT_LOOP, [], "table")
+        assert ref_result == HOT_EXPECTED
+        result, rt = run_one(HOT_LOOP, [], "tiered",
+                             promote_after=promote_after)
+        assert result == HOT_EXPECTED
+        assert snapshot(rt) == snapshot(ref_rt), promote_after
+
+    def test_hot_methods_actually_promote(self):
+        result, rt = run_one(HOT_LOOP, [], "tiered", promote_after=4)
+        assert result == HOT_EXPECTED
+        interp = rt.interpreter
+        assert interp.methods_promoted > 0
+        # Promoted methods live in the compiled-tier cache; the callee
+        # Main.step is called 120 times so it must be among them.
+        step = rt.program.lookup("Main").methods["step"]
+        assert step in interp._pycache
+
+    def test_cold_run_never_promotes(self):
+        # "Cold" means cold caches too: a warm codegen cache would
+        # short-circuit the threshold (promotion is free on a hit), so
+        # drop it to observe the pure profile-gated behaviour.
+        from repro.jvm.compiledcode import clear_codegen_caches
+
+        clear_codegen_caches()
+        result, rt = run_one(HOT_LOOP, [], "tiered", promote_after=1_000_000)
+        assert result == HOT_EXPECTED
+        interp = rt.interpreter
+        assert interp.methods_promoted == 0
+        assert not interp._pycache
+
+    def test_warm_cache_promotes_on_first_visit(self):
+        # A prior run leaves the generated form in the cross-runtime
+        # codegen cache; a fresh tiered runtime then promotes at each
+        # method's first driver visit — no re-profiling, no codegen —
+        # with counters identical to the cold run.
+        cold_result, cold_rt = run_one(HOT_LOOP, [], "tiered",
+                                       promote_after=4)
+        result, rt = run_one(HOT_LOOP, [], "tiered",
+                             promote_after=1_000_000)
+        assert result == cold_result == HOT_EXPECTED
+        interp = rt.interpreter
+        assert interp.methods_promoted > 0
+        assert interp.methods_codegenned == 0
+        assert snapshot(rt) == snapshot(cold_rt)
+
+    @pytest.mark.parametrize("quantum", [1, 3, 7])
+    def test_promotion_with_tiny_quanta(self, quantum):
+        # Promotion decisions land at driver visits, so tiny quanta give
+        # many more decision points; parity must hold regardless.
+        ref_result, ref_rt = run_one(HOT_LOOP, [], "table", quantum=quantum)
+        result, rt = run_one(HOT_LOOP, [], "tiered", quantum=quantum,
+                             promote_after=3)
+        assert result == ref_result == HOT_EXPECTED
+        assert snapshot(rt) == snapshot(ref_rt)
+
+    def test_polymorphic_deopts_recorded(self):
+        # An alternating-receiver call site placed *mid-block* (POLY_SOURCE
+        # puts its site at a branch target, i.e. a block leader, whose
+        # guard deopts re-enter rather than record): the per-method deopt
+        # counter must see the mid-block deopts because they gate adaptive
+        # recompilation — and parity must still hold.
+        source = (
+            "class Square\n"
+            + "method Square.area(1)\n    const 4\n    retval\n"
+            + "class Circle\n"
+            + "method Circle.area(1)\n    const 3\n    retval\n"
+            + MAIN
+            + "    new Square\n    store 2\n"
+            + "    new Circle\n    store 3\n"
+            + "    const 0\n    store 0\n"
+            + "    const 0\n    store 1\n"
+            + "loop:\n"
+            + "    load 0\n    const 60\n    if_icmpge done\n"
+            + "    load 0\n    const 2\n    mod\n    ifzero even\n"
+            + "    load 3\n    store 4\n    goto call\n"
+            + "even:\n    load 2\n    store 4\n"
+            + "call:\n    load 4\n    invokevirtual area 1\n"
+            + "    load 1\n    add\n    store 1\n"
+            + "    iinc 0 1\n    goto loop\n"
+            + "done:\n    load 1\n    retval\n"
+        )
+        ref_result, ref_rt = run_one(source, [], "table")
+        result, rt = run_one(source, [], "tiered", promote_after=2)
+        assert result == ref_result == POLY_EXPECTED
+        assert snapshot(rt) == snapshot(ref_rt)
+        assert sum(rt.interpreter._deopts.values()) > 0
+
+    def test_adaptive_recompile_fires_on_clean_methods(self):
+        # Enough driver visits with zero deopts triggers the one-shot
+        # lifted-caps recompile; counters stay identical to the table
+        # tier and the recompiled flag is recorded.
+        source = (
+            MAIN
+            + "    const 0\n    store 0\n    const 0\n    store 1\n"
+            + "loop:\n"
+            + "    load 0\n    const 4000\n    if_icmpge done\n"
+            + "    load 1\n    const 3\n    add\n    store 1\n"
+            + "    iinc 0 1\n    goto loop\n"
+            + "done:\n    load 1\n    retval\n"
+        )
+        expected = 4000 * 3
+        ref_result, ref_rt = run_one(source, [], "table", quantum=64)
+        result, rt = run_one(source, [], "tiered", quantum=64,
+                             promote_after=2)
+        assert result == ref_result == expected
+        assert snapshot(rt) == snapshot(ref_rt)
+        assert rt.interpreter.methods_recompiled > 0

@@ -4,7 +4,7 @@ The heartbeat is the live counterpart of the crash dump: every
 ``heartbeat_every`` executed opcodes the runtime serializes a
 :class:`LiveSnapshot` into a bounded spool ring.  The contract under test:
 
-* beats fire at *exact* op counts, identically under all four dispatch
+* beats fire at *exact* op counts, identically under all five dispatch
   tiers (arming a heartbeat forces the per-instruction tick loops, same
   discipline as ``gc_period_ops``);
 * arming a heartbeat leaves every determinism counter bit-identical to a

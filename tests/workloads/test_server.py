@@ -3,7 +3,7 @@
 The server workload is the repo's stand-in for the paper's ch. 4.2 claim
 (CG suits long-running servers).  What these tests pin:
 
-* the run is deterministic — repeat runs and all four dispatch tiers
+* the run is deterministic — repeat runs and all five dispatch tiers
   produce bit-identical CG counters;
 * arrival schedules are seeded and pattern-shaped (integer arithmetic
   only, so the schedule replays anywhere);
